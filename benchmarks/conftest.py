@@ -1,0 +1,31 @@
+"""Shared helpers for the figure/table benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper through
+:mod:`repro.harness.experiments`, checks the qualitative *shape* the paper
+reports, and writes the formatted rows/series to
+``benchmarks/results/<id>.txt`` (pytest captures stdout, so the files are
+the durable record; EXPERIMENTS.md is compiled from them).
+
+Workload selection defaults to the representative 12-workload subset;
+``REPRO_SUITE=full`` runs all 70 (slower).  Simulation runs are memoized
+across benchmarks, so shared (workload, config) pairs are simulated once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(experiment_id: str, text: str) -> None:
+    """Persist one experiment's formatted output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{experiment_id}]\n{text}")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

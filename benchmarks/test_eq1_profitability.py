@@ -1,0 +1,64 @@
+"""Equation 1 — the predication profitability trade-off.
+
+Paper's worked example (Section II-C1): with alloc width 4 and a 20-cycle
+penalty, a 10% misprediction rate makes predication profitable only for
+combined bodies under 16 instructions; a 32-instruction body needs >20%.
+The bench validates the analytic model and confirms it empirically with a
+body-size sweep on the simulator.
+"""
+
+import pytest
+
+from repro.core import Core, SKYLAKE_LIKE
+from repro.harness import experiments, format_table
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+
+from conftest import once, report
+
+
+def _empirical_sweep():
+    """ACB speedup as the body grows at a fixed misprediction rate."""
+    out = {}
+    for body in (4, 16, 48):
+        spec = WorkloadSpec(
+            name=f"eq1_body{body}",
+            category="bench",
+            seed=body,
+            hammocks=(HammockSpec(shape="if", nt_len=body, p=0.12),),
+            ilp=4,
+            chain=1,
+            memory="none",
+        )
+        from repro.acb import AcbScheme
+        from repro.harness.runner import reduced_acb_config
+
+        base = Core(build_workload(spec), SKYLAKE_LIKE).run_window(8000, 8000)
+        acb = Core(
+            build_workload(spec), SKYLAKE_LIKE, scheme=AcbScheme(reduced_acb_config())
+        ).run_window(8000, 8000)
+        out[body] = base.cycles / acb.cycles
+    return out
+
+
+def test_eq1_profitability(benchmark):
+    model = once(benchmark, experiments.eq1_profitability)
+
+    rows = [
+        [f"{row['mispred_rate']:.0%}", f"{row['break_even_body']:.0f}"]
+        for row in model["rows"]
+    ]
+    sweep = _empirical_sweep()
+    sweep_rows = [[str(body), f"{ratio:.3f}"] for body, ratio in sweep.items()]
+    report(
+        "eq1_profitability",
+        "Analytic break-even body size (T+N) per misprediction rate\n"
+        + format_table(["mispred rate", "max body"], rows)
+        + "\n\nEmpirical ACB speedup at ~12% mispredict vs body size\n"
+        + format_table(["body", "speedup"], sweep_rows),
+    )
+
+    # the paper's two worked numbers
+    assert model["example_body16_rate"] == pytest.approx(0.10)
+    assert model["example_body32_rate"] == pytest.approx(0.20)
+    # empirical shape: the benefit shrinks as the body grows
+    assert sweep[4] > sweep[48]

@@ -1,0 +1,31 @@
+"""Figure 1 — performance potential of perfect branch prediction as the
+OOO machine scales.
+
+Paper: the oracle's speedup over the TAGE baseline grows with machine
+scale; a 3x wider/deeper machine is roughly twice as speculation-bound as
+the Skylake-like 1x point.
+"""
+
+from repro.harness import experiments, format_table, pct
+
+from conftest import once, report
+
+
+def test_fig01_scaling_potential(benchmark):
+    result = once(benchmark, experiments.fig1_scaling_potential)
+    series = result["series"]
+
+    rows = [
+        [f"{scale}x", f"{series[scale]['geomean']:.3f}", pct(series[scale]["geomean"])]
+        for scale in result["scales"]
+    ]
+    report(
+        "fig01_scaling_potential",
+        "Perfect-BP speedup over TAGE baseline vs core scale\n"
+        + format_table(["scale", "oracle speedup", "gain"], rows),
+    )
+
+    gains = [series[s]["geomean"] for s in result["scales"]]
+    # the paper's shape: monotone growth in speculation-boundedness
+    assert gains[0] > 1.0
+    assert gains[-1] > gains[0]

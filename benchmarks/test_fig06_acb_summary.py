@@ -1,0 +1,32 @@
+"""Figure 6 — ACB performance summary.
+
+Paper: ACB delivers 8.0% geomean IPC gain and a 22% reduction in
+mis-speculations over the Skylake-like baseline, reported per category.
+"""
+
+from repro.harness import experiments, format_table, pct
+
+from conftest import once, report
+
+
+def test_fig06_acb_summary(benchmark):
+    result = once(benchmark, experiments.fig6_acb_summary)
+
+    rows = [[cat, f"{ratio:.3f}", pct(ratio)] for cat, ratio in
+            result["per_category"].items()]
+    rows.append(["GEOMEAN", f"{result['geomean']:.3f}", pct(result["geomean"])])
+    per_wl = sorted(result["per_workload"].items(), key=lambda kv: kv[1])
+    wl_rows = [[name, f"{ratio:.3f}"] for name, ratio in per_wl]
+    report(
+        "fig06_acb_summary",
+        "ACB speedup per category (paper: +8.0% geomean, -22% flushes)\n"
+        + format_table(["category", "speedup", "gain"], rows)
+        + f"\nflush reduction: {result['flush_reduction']:.1%}\n\n"
+        + format_table(["workload", "speedup"], wl_rows),
+    )
+
+    # the paper's shape: a clear aggregate win with a real flush reduction
+    assert result["geomean"] > 1.02
+    assert result["flush_reduction"] > 0.10
+    # losses are contained (Dynamo): nothing catastrophically negative
+    assert min(result["per_workload"].values()) > 0.75

@@ -1,0 +1,43 @@
+"""Figure 7 — mis-speculation reduction vs performance, per workload.
+
+Paper: flush reduction correlates positively with speedup; the largest
+positive outlier (lammps) exceeds 2x; soplex cuts flushes with little gain
+(off-critical-path mispredictions); omnetpp slightly *increases*
+mis-speculations via correlation effects, with losses contained by Dynamo.
+"""
+
+from repro.harness import experiments, format_table
+
+from conftest import once, report
+
+
+def test_fig07_correlation(benchmark):
+    result = once(benchmark, experiments.fig7_correlation)
+    rows = result["rows"]
+
+    table_rows = [
+        [r["workload"], r["tag"] or "-", f"{r['perf_ratio']:.3f}",
+         f"{r['misspec_ratio']:.3f}"]
+        for r in rows
+    ]
+    report(
+        "fig07_correlation",
+        "Per-workload perf ratio vs mis-speculation ratio (sorted by perf)\n"
+        + format_table(["workload", "tag", "perf", "misspec"], table_rows),
+    )
+
+    by_name = {r["workload"]: r for r in rows}
+    if "lammps" in by_name:  # the >2x positive outlier
+        assert by_name["lammps"]["perf_ratio"] > 2.0
+    if "soplex" in by_name:  # flushes down, performance flat
+        assert by_name["soplex"]["misspec_ratio"] < 0.8
+        assert 0.9 < by_name["soplex"]["perf_ratio"] < 1.15
+    if "omnetpp" in by_name:  # mis-speculations do not fall; loss contained
+        assert by_name["omnetpp"]["misspec_ratio"] > 0.85
+        assert by_name["omnetpp"]["perf_ratio"] > 0.75
+
+    # overall positive correlation: big flush cuts should sit at the top end
+    gainers = [r for r in rows if r["perf_ratio"] > 1.1]
+    if gainers:
+        avg_cut = sum(r["misspec_ratio"] for r in gainers) / len(gainers)
+        assert avg_cut < 0.7

@@ -1,0 +1,46 @@
+"""Figure 9 — DMP vs oracle-history DMP (DMP-PBH) on categories D and E.
+
+Paper: DMP *increases* branch mispredictions on these workloads because
+confidence-dependent predication destabilizes the global history; perfect
+branch history (DMP-PBH) recovers most of category D's losses but not
+category E's.
+"""
+
+from repro.harness import experiments, format_table
+
+from conftest import once, report
+
+
+def test_fig09_dmp_pbh(benchmark):
+    result = once(benchmark, experiments.fig9_dmp_pbh)
+
+    rows = [
+        [r["workload"], r["tag"], f"{r['dmp_perf']:.3f}", f"{r['dmp_misspec']:.2f}",
+         f"{r['pbh_perf']:.3f}", f"{r['pbh_misspec']:.2f}", f"{r['acb_perf']:.3f}"]
+        for r in sorted(result["rows"], key=lambda r: (r["tag"], r["workload"]))
+    ]
+    report(
+        "fig09_dmp_pbh",
+        "Categories D/E: DMP vs DMP-PBH (perfect history) vs ACB\n"
+        + format_table(
+            ["workload", "tag", "dmp", "dmp msr", "pbh", "pbh msr", "acb"], rows
+        ),
+    )
+
+    d_rows = [r for r in result["rows"] if r["tag"] == "D"]
+    e_rows = [r for r in result["rows"] if r["tag"] == "E"]
+    assert d_rows and e_rows
+
+    for r in d_rows:
+        # DMP loses on D; oracle history recovers most of it
+        assert r["dmp_perf"] < 0.9, r
+        assert r["pbh_perf"] > r["dmp_perf"] + 0.15, r
+        # corrupted history keeps mis-speculations from falling as they
+        # should; PBH slashes them
+        assert r["dmp_misspec"] > r["pbh_misspec"], r
+    for r in e_rows:
+        # E is not a history problem: PBH does NOT recover it
+        assert r["pbh_perf"] < 0.9, r
+        assert abs(r["pbh_perf"] - r["dmp_perf"]) < 0.15, r
+        # ACB with Dynamo stays safe where both DMP variants lose
+        assert r["acb_perf"] > r["pbh_perf"], r

@@ -1,0 +1,36 @@
+"""Figure 10 — allocation stalls on category E workloads.
+
+Paper: even with perfect branch history, category E workloads suffer from
+allocation stalls caused by data dependencies on select micro-ops beyond
+the reconvergence point — the cost a throttling mechanism like Dynamo is
+needed for.
+"""
+
+from repro.harness import experiments, format_table
+
+from conftest import once, report
+
+
+def test_fig10_alloc_stalls(benchmark):
+    result = once(benchmark, experiments.fig10_alloc_stalls)
+
+    rows = [
+        [r["workload"], f"{r['base_stalls']:.2f}", f"{r['pbh_stalls']:.2f}",
+         f"{r['acb_stalls']:.2f}", f"{r['pbh_perf']:.3f}"]
+        for r in result["rows"]
+    ]
+    report(
+        "fig10_alloc_stalls",
+        "Category E: allocation-stall cycle fraction (baseline vs DMP-PBH vs ACB)\n"
+        + format_table(
+            ["workload", "base stalls", "pbh stalls", "acb stalls", "pbh perf"], rows
+        ),
+    )
+
+    assert result["rows"]
+    for r in result["rows"]:
+        # DMP-PBH raises the allocation-stall fraction and loses performance
+        assert r["pbh_stalls"] > r["base_stalls"] * 1.1, r
+        assert r["pbh_perf"] < 1.0, r
+        # ACB's throttling keeps its stall fraction below DMP-PBH's
+        assert r["acb_stalls"] < r["pbh_stalls"], r

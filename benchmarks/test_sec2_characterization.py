@@ -1,0 +1,30 @@
+"""Section II — characterization of branch mispredictions.
+
+Paper: ~64 PCs cover >95% of dynamic mispredictions; of conditional-branch
+mispredictions, ~72% come from convergent conditionals, ~13% from loops,
+~13% from non-converging control flow.
+"""
+
+from repro.harness import experiments, format_table
+
+from conftest import once, report
+
+
+def test_sec2_characterization(benchmark):
+    result = once(benchmark, experiments.sec2_characterization)
+
+    share = result["share"]
+    rows = [[kind, f"{fraction:.1%}"] for kind, fraction in share.items()]
+    rows.append(["top-64-PC coverage", f"{result['avg_top64_coverage']:.1%}"])
+    report(
+        "sec2_characterization",
+        "Misprediction characterization (paper: 72% convergent / 13% loop / "
+        "13% non-convergent; 64 PCs ≥ 95%)\n"
+        + format_table(["class", "share"], rows),
+    )
+
+    # shape: a small PC set covers nearly everything on kernel workloads,
+    # and convergent conditionals dominate
+    assert result["avg_top64_coverage"] > 0.95
+    assert share["convergent"] > 0.5
+    assert share["loop"] > 0.0

@@ -1,0 +1,37 @@
+"""Tables I–III — storage budget, core parameters, workload list."""
+
+from repro.harness import experiments, format_table
+
+from conftest import once, report
+
+
+def test_table1_storage(benchmark):
+    """Table I: aggregate ACB storage is 386 bytes."""
+    result = once(benchmark, experiments.table1_storage)
+
+    rows = [[k.replace("_bytes", ""), f"{v:.0f} B"] for k, v in result.items()
+            if k.endswith("_bytes") and k != "total_bytes"]
+    rows.append(["TOTAL", f"{result['total_bytes']:.0f} B"])
+    rows.append(["paper", f"{result['paper_total_bytes']} B"])
+    report("table1_storage", "ACB storage budget\n" + format_table(["structure", "bytes"], rows))
+
+    assert result["total_bytes"] == result["paper_total_bytes"] == 386
+
+
+def test_table2_core_params(benchmark):
+    """Table II: the Skylake-like simulated core."""
+    result = once(benchmark, experiments.table2_core_params)
+    rows = sorted(result.items())
+    report("table2_core_params", "Core parameters\n" + format_table(["parameter", "value"], rows))
+    assert result["Branch predictor"] == "TAGE"
+    assert "224" in result["ROB / IQ"]
+
+
+def test_table3_workloads(benchmark):
+    """Table III: 70 workloads in six categories."""
+    result = once(benchmark, experiments.table3_workloads)
+    rows = [[cat, str(len(names)), ", ".join(sorted(names)[:6]) + ", ..."]
+            for cat, names in sorted(result.items())]
+    report("table3_workloads", "Workload suite\n" + format_table(["category", "count", "members"], rows))
+    assert sum(len(v) for v in result.values()) == 70
+    assert set(result) == {"ISPEC", "FSPEC", "SPEC17", "SYSmark", "Client", "Server"}

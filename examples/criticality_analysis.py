@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Criticality analysis: why flush reduction does not always mean speedup.
+
+Reproduces the paper's Section V-A analysis of the ``soplex`` outlier: the
+workload's mispredictions mostly resolve in the shadow of a serialized DRAM
+pointer chase, so eliminating them barely moves performance.  The script
+contrasts it with ``lammps``, whose flushes sit squarely on the critical
+path, using the Fields et al. data-dependency-graph model (Section II-A).
+
+Run:  python examples/criticality_analysis.py
+"""
+
+from repro import AcbScheme, Core, SKYLAKE_LIKE, load_suite
+from repro.criticality import classify_mispredictions
+from repro.harness import pct
+from repro.harness.runner import reduced_acb_config
+
+WARMUP, MEASURE = 12_000, 10_000
+
+
+def analyze(name: str) -> None:
+    print(f"\n=== {name} ===")
+    (workload,) = load_suite([name])
+    core = Core(workload, SKYLAKE_LIKE)
+    core.run(WARMUP)
+    log = core.enable_retire_log(cap=MEASURE + 2000)
+    core.reset_stats()
+    base_start = core.cycle
+    core.run(MEASURE)
+    base_cycles = core.cycle - base_start
+
+    report = classify_mispredictions(log, core.config.flush_latency)
+    print(f"  mispredictions in window : {report.mispredicts_total}")
+    print(f"  ... on the critical path : {report.mispredicts_critical} "
+          f"({report.critical_fraction:.0%})")
+    print(f"  binding-edge mix         : {report.edge_kinds}")
+
+    (workload,) = load_suite([name])
+    acb_core = Core(workload, SKYLAKE_LIKE, scheme=AcbScheme(reduced_acb_config()))
+    acb = acb_core.run_window(WARMUP, MEASURE)
+    base = Core(load_suite([name])[0], SKYLAKE_LIKE).run_window(WARMUP, MEASURE)
+    print(f"  flush reduction with ACB : "
+          f"{1 - acb.flushes / max(1, base.flushes):.0%}")
+    print(f"  ACB speedup              : {pct(base.cycles / acb.cycles)}")
+
+
+def main() -> None:
+    print("Misprediction criticality (Fields et al. DDG back-walk)")
+    print("=" * 60)
+    analyze("lammps")   # flush-bound: criticality high, big ACB win
+    analyze("soplex")   # chase-bound: flushes shadowed, ACB gains little
+    print(
+        "\nTakeaway: soplex cuts a comparable share of its flushes, but they"
+        "\nwere not on the critical path — exactly the paper's explanation"
+        "\nfor its left-end outlier in Fig. 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload with and without ACB.
+
+Builds the paper's headline demonstration on a single workload: the ``lammps``
+proxy (the biggest positive outlier of Fig. 7) runs on the Skylake-like
+baseline core, then again with the ACB predication scheme attached, and the
+script reports IPC, pipeline flushes, and what ACB learned.
+
+Run:  python examples/quickstart.py [workload-name]
+"""
+
+import sys
+
+from repro import AcbScheme, Core, SKYLAKE_LIKE, load_suite
+from repro.acb import storage_report
+from repro.harness import pct
+from repro.harness.runner import reduced_acb_config
+
+WARMUP, MEASURE = 16_000, 12_000
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lammps"
+    print(f"=== {name}: baseline vs ACB ===\n")
+
+    (workload,) = load_suite([name])
+    baseline_core = Core(workload, SKYLAKE_LIKE)
+    baseline = baseline_core.run_window(WARMUP, MEASURE)
+
+    (workload,) = load_suite([name])
+    scheme = AcbScheme(reduced_acb_config())
+    acb_core = Core(workload, SKYLAKE_LIKE, scheme=scheme)
+    acb = acb_core.run_window(WARMUP, MEASURE)
+
+    print(f"{'':24s}{'baseline':>12s}{'ACB':>12s}")
+    print(f"{'IPC':24s}{baseline.ipc:>12.3f}{acb.ipc:>12.3f}")
+    print(f"{'pipeline flushes':24s}{baseline.flushes:>12d}{acb.flushes:>12d}")
+    print(f"{'mispredicts/KI':24s}{baseline.mpki:>12.2f}{acb.mpki:>12.2f}")
+    print(f"{'OOO allocations':24s}{baseline.allocated:>12d}{acb.allocated:>12d}")
+    print(f"{'predicated instances':24s}{'-':>12s}{acb.predicated_instances:>12d}")
+    print(f"\nspeedup: {pct(baseline.cycles / acb.cycles)}")
+
+    print("\nWhat ACB learned (branch PC -> convergence):")
+    for entry in scheme.table.entries():
+        print(
+            f"  pc={entry.pc:4d}  Type-{entry.conv_type}  "
+            f"reconv={entry.reconv_pc:4d}  body={entry.body_size:2d} instrs  "
+            f"confidence={entry.conf}/63"
+        )
+
+    report = storage_report(scheme)
+    print(f"\nhardware budget: {report['total_bytes']:.0f} bytes "
+          f"(paper: 386 bytes)")
+
+
+if __name__ == "__main__":
+    main()

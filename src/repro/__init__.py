@@ -1,0 +1,51 @@
+"""repro — reproduction of *Auto-Predication of Critical Branches*
+(Chauhan et al., ISCA 2020).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the cycle-level out-of-order core (``Core``,
+  ``CoreConfig``, ``scaled``).
+* :mod:`repro.acb` — the paper's contribution (``AcbScheme``,
+  ``AcbConfig``, ``Dynamo``).
+* :mod:`repro.baselines` — DMP, DMP-PBH, DHP.
+* :mod:`repro.branch` — TAGE and friends.
+* :mod:`repro.workloads` — the synthetic 70-workload suite.
+* :mod:`repro.criticality` — Fields-style critical-path analysis.
+* :mod:`repro.harness` — one driver per figure/table of the paper.
+
+Quickstart::
+
+    from repro import Core, SKYLAKE_LIKE, AcbScheme, load_suite
+    (workload,) = load_suite(["lammps"])
+    core = Core(workload, SKYLAKE_LIKE, scheme=AcbScheme())
+    stats = core.run_window(warmup=10_000, measure=12_000)
+    print(stats.ipc, stats.flushes)
+"""
+
+from repro.acb import AcbConfig, AcbScheme
+from repro.baselines import DhpScheme, DmpPbhScheme, DmpScheme
+from repro.core import Core, CoreConfig, SKYLAKE_LIKE, SimStats, scaled
+from repro.harness import compare_configs, run_workload
+from repro.workloads import REPRESENTATIVE, Workload, build_workload, load_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcbConfig",
+    "AcbScheme",
+    "DhpScheme",
+    "DmpPbhScheme",
+    "DmpScheme",
+    "Core",
+    "CoreConfig",
+    "SKYLAKE_LIKE",
+    "SimStats",
+    "scaled",
+    "compare_configs",
+    "run_workload",
+    "REPRESENTATIVE",
+    "Workload",
+    "build_workload",
+    "load_suite",
+    "__version__",
+]

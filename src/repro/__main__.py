@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run WORKLOAD [--config acb] [--scale 1]``
+    Simulate one suite workload under a named configuration and print the
+    measurement-window statistics.
+``compare WORKLOAD [CONFIG ...]``
+    Run several configurations on one workload side by side.
+``suite``
+    List the 70 workloads by category (Table III).
+``experiment NAME``
+    Run one figure/table driver (``fig6``, ``fig8``, ``table1`` ...) and
+    print its structured result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness import experiments, format_table, pct
+from repro.harness.runner import SCHEME_FACTORIES, run_workload
+from repro.workloads import categories, suite_names
+
+EXPERIMENTS = {
+    "fig1": experiments.fig1_scaling_potential,
+    "sec2": experiments.sec2_characterization,
+    "eq1": experiments.eq1_profitability,
+    "fig6": experiments.fig6_acb_summary,
+    "fig7": experiments.fig7_correlation,
+    "fig8": experiments.fig8_vs_dmp,
+    "fig9": experiments.fig9_dmp_pbh,
+    "fig10": experiments.fig10_alloc_stalls,
+    "fig11": experiments.fig11_vs_dhp,
+    "table1": experiments.table1_storage,
+    "table2": experiments.table2_core_params,
+    "table3": experiments.table3_workloads,
+    "sec5d": experiments.sec5d_core_scaling,
+    "sec5e": experiments.sec5e_power_proxies,
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(args.workload, args.config, core_scale=args.scale)
+    print(f"{result.workload} [{result.category}] under {result.config}:")
+    for key, value in result.stats.summary().items():
+        print(f"  {key:14s} {value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    base = None
+    for config in args.configs:
+        result = run_workload(args.workload, config, core_scale=args.scale)
+        if base is None:
+            base = result.stats.cycles
+        rows.append([
+            config,
+            f"{result.stats.ipc:.3f}",
+            str(result.stats.flushes),
+            str(result.stats.predicated_instances),
+            pct(base / result.stats.cycles),
+        ])
+    print(format_table(["config", "ipc", "flushes", "predicated", "vs first"], rows))
+    return 0
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    for category, names in categories().items():
+        print(f"{category} ({len(names)}):")
+        print("  " + ", ".join(sorted(names)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS.get(args.name)
+    if driver is None:
+        print(f"unknown experiment {args.name!r}; choose from {sorted(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    result = driver()
+    result.pop("results", None)  # strip non-serializable run objects
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ACB (ISCA 2020) reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload", choices=suite_names(), metavar="WORKLOAD")
+    p_run.add_argument("--config", default="acb", choices=sorted(SCHEME_FACTORIES))
+    p_run.add_argument("--scale", type=int, default=1)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare configurations")
+    p_cmp.add_argument("workload", choices=suite_names(), metavar="WORKLOAD")
+    p_cmp.add_argument("configs", nargs="*",
+                       default=["baseline", "acb", "dmp", "dhp"])
+    p_cmp.add_argument("--scale", type=int, default=1)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_suite = sub.add_parser("suite", help="list the workload suite")
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_exp = sub.add_parser("experiment", help="run a figure/table driver")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

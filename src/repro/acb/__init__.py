@@ -1,0 +1,42 @@
+"""Auto-Predication of Critical Branches — the paper's contribution."""
+
+from repro.acb.config import AcbConfig, PAPER_DEFAULT, REDUCED_DEFAULT
+from repro.acb.critical_table import CriticalTable
+from repro.acb.learning import ConvergenceResult, LearningTable, effective_taken
+from repro.acb.acb_table import (
+    AcbEntry,
+    AcbTable,
+    BAD,
+    GOOD,
+    LIKELY_BAD,
+    LIKELY_GOOD,
+    NEUTRAL,
+)
+from repro.acb.tracking import TrackingTable
+from repro.acb.dynamo import Dynamo
+from repro.acb.throttle import StallThrottle
+from repro.acb.scheme import AcbScheme
+from repro.acb.storage import PAPER_TOTAL_BYTES, storage_report
+
+__all__ = [
+    "AcbConfig",
+    "PAPER_DEFAULT",
+    "REDUCED_DEFAULT",
+    "CriticalTable",
+    "ConvergenceResult",
+    "LearningTable",
+    "effective_taken",
+    "AcbEntry",
+    "AcbTable",
+    "BAD",
+    "GOOD",
+    "LIKELY_BAD",
+    "LIKELY_GOOD",
+    "NEUTRAL",
+    "TrackingTable",
+    "Dynamo",
+    "StallThrottle",
+    "AcbScheme",
+    "PAPER_TOTAL_BYTES",
+    "storage_report",
+]

@@ -1,0 +1,164 @@
+"""ACB Table: learned targets with criticality confidence (Section III-B).
+
+A 32-entry, 2-way set-associative table indexed by branch PC.  Each entry
+stores the learned convergence metadata (type, reconvergence point, body
+size class) plus a 6-bit probabilistic confidence counter and the per-entry
+Dynamo state (3-bit FSM + 4-bit involvement counter).
+
+The confidence discipline implements Equation 1's trade-off: the counter is
+incremented on every misprediction-triggered flush of the branch and
+decremented *probabilistically* by ``1/M`` on every correct prediction,
+where ``M = 1/m - 1`` and ``m`` is the required misprediction rate for the
+entry's body-size class.  The counter therefore drifts upward exactly when
+the observed misprediction rate exceeds ``m``; predication starts once it
+exceeds half of its saturated value (32).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.acb.config import AcbConfig
+
+# Dynamo FSM states (Figure 5)
+BAD = 0
+LIKELY_BAD = 1
+NEUTRAL = 2
+LIKELY_GOOD = 3
+GOOD = 4
+
+STATE_NAMES = {BAD: "BAD", LIKELY_BAD: "LIKELY_BAD", NEUTRAL: "NEUTRAL",
+               LIKELY_GOOD: "LIKELY_GOOD", GOOD: "GOOD"}
+
+
+class AcbEntry:
+    """One learned critical convergent branch."""
+
+    __slots__ = (
+        "pc",
+        "tag",
+        "conv_type",
+        "reconv_pc",
+        "body_size",
+        "body_class",
+        "required_m",
+        "conf",
+        "util",
+        "fsm",
+        "involvement",
+    )
+
+    def __init__(self, pc: int, tag: int, conv_type: int, reconv_pc: int,
+                 body_size: int, body_class: int, required_m: float):
+        self.pc = pc
+        self.tag = tag
+        self.conv_type = conv_type
+        self.reconv_pc = reconv_pc
+        self.body_size = body_size
+        self.body_class = body_class
+        self.required_m = required_m
+        self.conf = 0
+        self.util = 1
+        self.fsm = NEUTRAL
+        self.involvement = 0
+
+    @property
+    def first_taken(self) -> bool:
+        """Types 1/2 fetch the not-taken path first; Type 3 the taken path."""
+        return self.conv_type == 3
+
+    def reset_confidence(self) -> None:
+        """Divergence observed: force the branch to re-train (Section III-C)."""
+        self.conf = 0
+        self.util = 0
+
+
+class AcbTable:
+    """Set-associative store of learned ACB candidates."""
+
+    def __init__(self, config: AcbConfig = AcbConfig(), seed: int = 0xD1CE):
+        self.config = config
+        self.sets = config.acb_sets
+        self.ways = config.acb_ways
+        if self.sets & (self.sets - 1):
+            raise ValueError("acb_sets must be a power of two")
+        self._table: List[List[Optional[AcbEntry]]] = [
+            [None] * self.ways for _ in range(self.sets)
+        ]
+        self.conf_max = (1 << config.confidence_bits) - 1
+        self._rng = seed or 1
+
+    # ------------------------------------------------------------------
+    def _rand01(self) -> float:
+        s = self._rng
+        s ^= (s << 13) & 0xFFFFFFFFFFFFFFFF
+        s ^= s >> 7
+        s ^= (s << 17) & 0xFFFFFFFFFFFFFFFF
+        self._rng = s & 0xFFFFFFFFFFFFFFFF
+        return self._rng / float(1 << 64)
+
+    def _index(self, pc: int) -> int:
+        return pc & (self.sets - 1)
+
+    def _tag(self, pc: int) -> int:
+        return (pc >> self.sets.bit_length() - 1) & 0x7FF
+
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int) -> Optional[AcbEntry]:
+        tag = self._tag(pc)
+        for entry in self._table[self._index(pc)]:
+            if entry is not None and entry.tag == tag and entry.pc == pc:
+                return entry
+        return None
+
+    def allocate(self, pc: int, conv_type: int, reconv_pc: int, body_size: int) -> AcbEntry:
+        """Install a freshly learned branch, evicting the weakest way."""
+        entry = AcbEntry(
+            pc=pc,
+            tag=self._tag(pc),
+            conv_type=conv_type,
+            reconv_pc=reconv_pc,
+            body_size=body_size,
+            body_class=self.config.body_size_class(body_size),
+            required_m=self.config.required_mispred_rate(body_size),
+        )
+        ways = self._table[self._index(pc)]
+        victim = 0
+        for w, existing in enumerate(ways):
+            if existing is None:
+                victim = w
+                break
+            if existing.conf < ways[victim].conf:
+                victim = w
+        ways[victim] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def train(self, pc: int, mispredicted: bool) -> Optional[AcbEntry]:
+        """Criticality-confidence update on a resolved, non-predicated
+        instance of a tracked branch."""
+        entry = self.lookup(pc)
+        if entry is None:
+            return None
+        if mispredicted:
+            if entry.conf < self.conf_max:
+                entry.conf += 1
+        else:
+            m = entry.required_m
+            big_m = max(1.0, 1.0 / m - 1.0)
+            if entry.conf > 0 and self._rand01() < 1.0 / big_m:
+                entry.conf -= 1
+        return entry
+
+    def confident(self, entry: AcbEntry) -> bool:
+        return entry.conf > self.config.confidence_threshold
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[AcbEntry]:
+        return [e for ways in self._table for e in ways if e is not None]
+
+    def storage_bits(self) -> int:
+        # tag(11) + type(2) + reconv offset(16) + body class(2) + conf(6) +
+        # util(2) + FSM(3) + involvement(4) + valid(1) + first-dir(1) +
+        # spare(2) = 50 bits per entry.
+        return self.sets * self.ways * 50

@@ -1,0 +1,111 @@
+"""ACB configuration knobs.
+
+Defaults are the paper's published parameters (Section III, Table I).  The
+paper simulates 10M+ instruction trace slices; pure-Python simulation uses
+reduced traces (see DESIGN.md §6), so :meth:`AcbConfig.reduced` scales the
+instruction-count-based windows proportionally while keeping every
+structural parameter identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class AcbConfig:
+    """All tunables of the ACB mechanism."""
+
+    # --- critical-branch learning (Section III-A) -----------------------
+    critical_entries: int = 64
+    critical_tag_bits: int = 11
+    critical_counter_bits: int = 4
+    criticality_window: int = 200_000   # retired instructions per filter window
+    #: optional refinement the paper experimented with (Section III-A):
+    #: count only mispredictions resolving near the ROB head.  The shipped
+    #: scheme is the plain frequency filter, so this defaults to off; the
+    #: ablation bench turns it on.
+    use_rob_proximity: bool = False
+    rob_proximity_fraction: float = 0.25
+
+    # --- convergence learning (Section III-B) ---------------------------
+    learning_limit: int = 40            # N: instruction scan limit
+
+    # --- ACB table / criticality confidence -----------------------------
+    acb_sets: int = 16
+    acb_ways: int = 2
+    confidence_bits: int = 6
+    confidence_threshold: int = 32      # apply when counter exceeds half-max
+    #: (max combined body size, required misprediction rate) per 2-bit class,
+    #: derived from Equation 1 with alloc_width=4 and ~24-cycle penalty.
+    body_size_classes: Tuple[Tuple[int, float], ...] = (
+        (8, 0.06),
+        (16, 0.12),
+        (24, 0.20),
+        (40, 0.30),
+    )
+
+    # --- run-time application (Section III-C) ---------------------------
+    divergence_slack: int = 40          # extra fetches allowed past N
+    divergence_cycles: int = 400        # hard cycle timeout per region
+    select_uops: bool = False           # ACB's optional select-uop variant
+    #: ablation: insert the true outcome of predicated instances into the
+    #: global history (oracle).  ACB proper removes them (Section V-C).
+    oracle_history: bool = False
+
+    # --- extensions ------------------------------------------------------
+    #: the paper's proposed B1 enhancement: on divergence, re-learn a
+    #: farther (guaranteed) reconvergence point and adopt it.
+    multi_reconv: bool = False
+
+    # --- run-time throttling (Section III-C / V-B) -----------------------
+    dynamo_enabled: bool = True
+    #: "dynamo" (the paper's monitor) or "stalls" (the rejected local
+    #: stall-count heuristic of Section V-B, kept for the ablation).
+    throttle: str = "dynamo"
+    stall_threshold: float = 10.0
+    epoch_length: int = 16_000          # retired instructions per epoch
+    cycle_change_factor: float = 0.125  # the 1/8 threshold
+    involvement_bits: int = 4
+    dynamo_reset_interval: int = 10_000_000
+
+    def __post_init__(self):
+        if self.throttle not in ("dynamo", "stalls"):
+            raise ValueError(f"unknown throttle {self.throttle!r}")
+
+    def reduced(self, scale: int = 10) -> "AcbConfig":
+        """Shrink instruction-count windows by *scale* for short traces."""
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        return replace(
+            self,
+            criticality_window=max(2_000, self.criticality_window // scale),
+            # epochs shrink twice as fast as the other windows so Dynamo
+            # reaches its verdict within a reduced trace slice.
+            epoch_length=max(400, self.epoch_length // (2 * scale)),
+            # shorter epochs see fewer dynamic instances, so the 4-bit
+            # involvement saturation is scaled down alongside.
+            involvement_bits=3,
+            dynamo_reset_interval=max(50_000, self.dynamo_reset_interval // scale),
+        )
+
+    def required_mispred_rate(self, body_size: int) -> float:
+        """Body-Size-to-Misprediction-Rate mapping (Section III-B)."""
+        for limit, rate in self.body_size_classes:
+            if body_size <= limit:
+                return rate
+        return self.body_size_classes[-1][1]
+
+    def body_size_class(self, body_size: int) -> int:
+        for i, (limit, _) in enumerate(self.body_size_classes):
+            if body_size <= limit:
+                return i
+        return len(self.body_size_classes) - 1
+
+
+#: Paper-default configuration.
+PAPER_DEFAULT = AcbConfig()
+
+#: Configuration scaled for the reduced traces this reproduction runs.
+REDUCED_DEFAULT = AcbConfig().reduced(10)

@@ -1,0 +1,104 @@
+"""Critical Table: frequency-based criticality filter (Section III-A).
+
+A 64-entry direct-mapped table indexed by the PCs of mispredicting
+conditional branches.  Each entry holds an 11-bit tag, a 2-bit utility
+counter for conflict management, and a 4-bit saturating critical counter.
+A branch whose critical counter saturates within the criticality window is
+handed to the Learning Table for convergence detection.
+
+The optional ROB-proximity heuristic (also Section III-A) counts a
+misprediction only when the branch resolved within a quarter of the ROB
+from the head — mispredictions near retirement flush more work and are more
+likely on the critical path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class _CriticalEntry:
+    __slots__ = ("tag", "pc", "utility", "critical")
+
+    def __init__(self, tag: int, pc: int):
+        self.tag = tag
+        self.pc = pc
+        self.utility = 1
+        self.critical = 1
+
+
+class CriticalTable:
+    """Direct-mapped table of frequently mispredicting branch PCs."""
+
+    def __init__(self, entries: int = 64, tag_bits: int = 11, counter_bits: int = 4):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self._index_bits = entries.bit_length() - 1
+        self._table: List[Optional[_CriticalEntry]] = [None] * entries
+
+    # ------------------------------------------------------------------
+    def _index(self, pc: int) -> int:
+        return pc & (self.entries - 1)
+
+    def _tag(self, pc: int) -> int:
+        return (pc >> self._index_bits) & ((1 << self.tag_bits) - 1)
+
+    # ------------------------------------------------------------------
+    def record_mispredict(self, pc: int) -> bool:
+        """Account one critical misprediction; ``True`` when the entry's
+        critical counter just saturated (candidate for convergence
+        learning)."""
+        idx = self._index(pc)
+        tag = self._tag(pc)
+        entry = self._table[idx]
+        if entry is None:
+            self._table[idx] = _CriticalEntry(tag, pc)
+            return False
+        if entry.tag == tag:
+            if entry.critical < self.counter_max:
+                entry.critical += 1
+            if entry.utility < 3:
+                entry.utility += 1
+            return entry.critical >= self.counter_max
+        # conflict: age the incumbent; replace only when its utility is spent
+        entry.utility -= 1
+        if entry.utility <= 0:
+            self._table[idx] = _CriticalEntry(tag, pc)
+        return False
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Critical count for *pc*, or ``None`` if absent."""
+        entry = self._table[self._index(pc)]
+        if entry is not None and entry.tag == self._tag(pc):
+            return entry.critical
+        return None
+
+    def vacate(self, pc: int) -> None:
+        """Free the entry (convergence confirmed: moved to the ACB Table)."""
+        idx = self._index(pc)
+        entry = self._table[idx]
+        if entry is not None and entry.tag == self._tag(pc):
+            self._table[idx] = None
+
+    def penalize(self, pc: int) -> None:
+        """Non-convergent branch: zero its counter so it must re-earn entry."""
+        entry = self._table[self._index(pc)]
+        if entry is not None and entry.tag == self._tag(pc):
+            entry.critical = 0
+
+    def decay_window(self) -> None:
+        """Criticality-window boundary: halve counters (≈ periodic reset)."""
+        for entry in self._table:
+            if entry is not None:
+                entry.critical >>= 1
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        # tag + utility + critical per entry
+        return self.entries * (self.tag_bits + 2 + self.counter_max.bit_length())
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self._table if e is not None)

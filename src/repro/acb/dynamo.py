@@ -1,0 +1,142 @@
+"""Dynamo: run-time performance monitoring and throttling (Section III-C).
+
+Dynamo is the paper's key robustness mechanism: rather than inferring
+predication's cost from local heuristics (stall counts, confidence), it
+*measures delivered performance directly* with an A/B discipline over
+epochs of W retired instructions:
+
+* **odd epochs** disable ACB for every branch except those already
+  confirmed GOOD — measuring (approximately) baseline performance;
+* **even epochs** enable ACB for every branch except those confirmed BAD.
+
+At each odd/even pair boundary the two cycle counts are compared.  A change
+beyond the ``1/8`` cycle-change factor moves the 3-bit FSM state of every
+*involved* branch (4-bit involvement counter saturated) one step toward
+GOOD or BAD; the final states are absorbing.  All state is periodically
+reset (every ~10M retired instructions) so that phase changes give blocked
+candidates a chance to re-learn.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.acb.acb_table import (
+    AcbEntry,
+    AcbTable,
+    BAD,
+    GOOD,
+    LIKELY_BAD,
+    LIKELY_GOOD,
+    NEUTRAL,
+)
+from repro.acb.config import AcbConfig
+
+_CYCLE_COUNTER_MAX = (1 << 18) - 1  # 18-bit saturating epoch cycle counter
+
+
+class Dynamo:
+    """Epoch-based performance monitor over the ACB Table."""
+
+    def __init__(self, config: AcbConfig, table: AcbTable):
+        self.config = config
+        self.table = table
+        self.epoch_index = 1            # epoch 1 is odd: ACB mostly off
+        self.instr_in_epoch = 0
+        self.epoch_start_cycle = 0
+        self.cycles_off = -1            # cycles of the last odd epoch
+        self.retired_total = 0
+        self.pairs_evaluated = 0
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def measuring_off(self) -> bool:
+        """Odd epoch: ACB disabled except for confirmed-GOOD branches."""
+        return self.epoch_index % 2 == 1
+
+    def enabled(self, entry: AcbEntry) -> bool:
+        """May *entry* predicate in the current epoch?"""
+        if not self.config.dynamo_enabled:
+            return True
+        if self.measuring_off:
+            return entry.fsm == GOOD
+        return entry.fsm != BAD
+
+    def note_instance(self, entry: AcbEntry) -> None:
+        """A dynamic predication happened: bump the involvement counter."""
+        cap = (1 << self.config.involvement_bits) - 1
+        if entry.involvement < cap:
+            entry.involvement += 1
+
+    # ------------------------------------------------------------------
+    def on_retire(self, cycle: int) -> None:
+        """Account one retired architectural instruction."""
+        self.retired_total += 1
+        self.instr_in_epoch += 1
+        if self.instr_in_epoch >= self.config.epoch_length:
+            self._epoch_boundary(cycle)
+        if (
+            self.config.dynamo_reset_interval
+            and self.retired_total % self.config.dynamo_reset_interval == 0
+        ):
+            self.reset_states()
+
+    def _epoch_boundary(self, cycle: int) -> None:
+        epoch_cycles = min(cycle - self.epoch_start_cycle, _CYCLE_COUNTER_MAX)
+        if self.measuring_off:
+            self.cycles_off = epoch_cycles
+        else:
+            if self.cycles_off >= 0:
+                self._evaluate_pair(self.cycles_off, epoch_cycles)
+            self.cycles_off = -1
+        self.epoch_index += 1
+        self.instr_in_epoch = 0
+        self.epoch_start_cycle = cycle
+
+    def _evaluate_pair(self, cycles_off: int, cycles_on: int) -> None:
+        """Compare the ACB-on epoch against its ACB-off sibling."""
+        self.pairs_evaluated += 1
+        threshold = cycles_off * self.config.cycle_change_factor
+        if cycles_on > cycles_off + threshold:
+            direction = -1  # predication made things worse
+        elif cycles_on < cycles_off - threshold:
+            direction = +1  # predication helped
+        else:
+            direction = 0
+        involvement_cap = (1 << self.config.involvement_bits) - 1
+        for entry in self.table.entries():
+            if direction and entry.involvement >= involvement_cap:
+                if entry.fsm not in (GOOD, BAD):  # final states are absorbing
+                    entry.fsm = max(BAD, min(GOOD, entry.fsm + direction))
+                    self.transitions += 1
+            entry.involvement = 0
+
+    # ------------------------------------------------------------------
+    def reset_states(self) -> None:
+        """Periodic re-learning reset (phase changes, Section III-C)."""
+        for entry in self.table.entries():
+            entry.fsm = NEUTRAL
+            entry.involvement = 0
+
+    def state_histogram(self) -> List[int]:
+        hist = [0] * 5
+        for entry in self.table.entries():
+            hist[entry.fsm] += 1
+        return hist
+
+    @staticmethod
+    def storage_bits() -> int:
+        # two 18-bit epoch cycle counters, epoch instruction counter,
+        # parity, and the global reset counter: budgeted at 16 bytes.
+        return 16 * 8
+
+
+__all__ = [
+    "Dynamo",
+    "BAD",
+    "LIKELY_BAD",
+    "NEUTRAL",
+    "LIKELY_GOOD",
+    "GOOD",
+]

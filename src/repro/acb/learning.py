@@ -1,0 +1,286 @@
+"""Learning Table: convergence detection in hardware (Section III-B).
+
+A single-entry structure that watches the fetch PC stream and classifies
+one critical branch at a time into the three generic convergence types of
+Figure 3:
+
+* **Type-1** — the reconvergence point is the branch target itself
+  (IF-only hammocks): scanning the not-taken path reaches the target
+  within N instructions.
+* **Type-2** — the not-taken path contains a Jumper whose target is
+  *ahead of* the branch target (IF-ELSE): that target is the candidate
+  reconvergence point, validated on a later taken-direction instance.
+* **Type-3** — the taken path contains a Jumper whose target lies
+  *between* the branch and its target, so the not-taken path falls through
+  into it; validated on a later not-taken instance.
+
+Backward branches are handled through the commutative transform of
+Figure 4: the branch is viewed as a forward branch located at its own
+target, targeting its own PC, with the direction sense inverted — the
+classification then proceeds identically.  The scan works on the raw fetch
+stream (including wrong-path fetches), as the hardware does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.isa.dyninst import DynInst
+
+# phases
+IDLE = 0
+WAIT_FIRST = 1     # wait for an instance fetching the first inspected path
+SCAN_FIRST = 2
+WAIT_SECOND = 3    # wait for an instance fetching the validation path
+SCAN_SECOND = 4
+
+# stages
+STAGE_T12 = 0
+STAGE_T3 = 1
+
+
+def effective_taken(dyn: DynInst) -> bool:
+    """Direction the front end followed for a fetched branch."""
+    if not dyn.instr.is_branch:
+        return False
+    if not dyn.instr.cond:
+        return True
+    if dyn.predicted and dyn.pred_taken is not None:
+        return dyn.pred_taken
+    return bool(dyn.taken)
+
+
+class ConvergenceResult:
+    """Outcome of one learning episode."""
+
+    __slots__ = ("branch_pc", "conv_type", "reconv_pc", "backward", "body_size")
+
+    def __init__(
+        self,
+        branch_pc: int,
+        conv_type: int,
+        reconv_pc: int,
+        backward: bool,
+        body_size: int,
+    ):
+        self.branch_pc = branch_pc
+        self.conv_type = conv_type
+        self.reconv_pc = reconv_pc
+        self.backward = backward
+        #: combined T + N body size observed during learning (Section III-B
+        #: records it in 2 bits to set the required misprediction rate).
+        self.body_size = body_size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ConvergenceResult(pc={self.branch_pc}, type={self.conv_type}, "
+            f"reconv={self.reconv_pc}, backward={self.backward}, "
+            f"body={self.body_size})"
+        )
+
+
+class LearningTable:
+    """Single-entry convergence learner over the fetch stream."""
+
+    def __init__(
+        self,
+        limit: int = 40,
+        on_converged: Optional[Callable[[ConvergenceResult], None]] = None,
+        on_failed: Optional[Callable[[int], None]] = None,
+    ):
+        self.limit = limit
+        self.on_converged = on_converged
+        self.on_failed = on_failed
+        self.reset()
+
+    def reset(self) -> None:
+        self.phase = IDLE
+        self.stage = STAGE_T12
+        self.branch_pc = -1
+        self.vpc = -1        # virtual branch PC (Figure 4 transform)
+        self.vtarget = -1    # virtual branch target
+        self.backward = False
+        self.candidate = -1
+        self.count = 0
+        self.size_first = 0  # body length observed on the first path
+        self.skip_type1 = False  # far-mode: look past the branch target
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self.phase != IDLE
+
+    def load(self, branch_pc: int, target: int, skip_type1: bool = False) -> None:
+        """Begin learning the conditional branch at *branch_pc* → *target*.
+
+        With *skip_type1* the scan ignores Type-1 arrivals at the branch
+        target and hunts for a Jumper to a *farther* point — the re-learning
+        pass of the multiple-reconvergence-point enhancement (Fig. 8 B1).
+        """
+        if self.busy:
+            raise RuntimeError("learning table is single-entry and occupied")
+        self.branch_pc = branch_pc
+        self.skip_type1 = skip_type1
+        self.backward = target <= branch_pc
+        if self.backward:
+            # Figure 4: view the back-branch as a forward branch sitting at
+            # its own target, targeting its own PC, with inverted sense.
+            self.vpc = target
+            self.vtarget = branch_pc
+        else:
+            self.vpc = branch_pc
+            self.vtarget = target
+        self.stage = STAGE_T12
+        self.phase = WAIT_FIRST
+        self.candidate = -1
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    def _virtual_dir(self, dyn: DynInst) -> bool:
+        """Virtual taken-direction of a fetched instance of our branch."""
+        real = effective_taken(dyn)
+        return (not real) if self.backward else real
+
+    def _first_dir(self) -> bool:
+        """Direction whose path is inspected first in the current stage."""
+        return self.stage == STAGE_T3  # T12 inspects not-taken, T3 taken
+
+    def observe(self, dyn: DynInst) -> None:
+        """Feed one fetched instruction (called for the whole fetch stream)."""
+        if self.phase == IDLE:
+            return
+        if dyn.pc == self.branch_pc and dyn.instr.is_cond_branch:
+            self._observe_own_branch(dyn)
+            return
+        if self.phase in (SCAN_FIRST, SCAN_SECOND):
+            self._scan(dyn)
+
+    def abort_scan(self) -> None:
+        """A pipeline flush invalidated the fetch stream mid-scan: back off
+        to waiting for a fresh instance (the learned branch stays loaded)."""
+        if self.phase == SCAN_FIRST:
+            self.phase = WAIT_FIRST
+        elif self.phase == SCAN_SECOND:
+            self.phase = WAIT_SECOND
+        self.count = 0
+
+    def _observe_own_branch(self, dyn: DynInst) -> None:
+        vdir = self._virtual_dir(dyn)
+        if self.phase == WAIT_FIRST and vdir == self._first_dir():
+            self.phase = SCAN_FIRST
+            self.count = 0
+        elif self.phase == WAIT_SECOND and vdir == (not self._first_dir()):
+            self.phase = SCAN_SECOND
+            self.count = 0
+        elif self.phase in (SCAN_FIRST, SCAN_SECOND):
+            # For a backward branch the virtual target IS the branch PC, so
+            # arriving back at it on the inspected path is the Type-1
+            # convergence of the Figure 4 transform.
+            if (
+                self.backward
+                and self.phase == SCAN_FIRST
+                and self.stage == STAGE_T12
+                and dyn.pc == self.vtarget
+            ):
+                self.size_first = self.count
+                self._confirm(conv_type=1, reconv=self.vtarget)
+                return
+            # Otherwise the scanned path wrapped around to a new instance
+            # without converging: that path attempt failed, exactly as if
+            # the N-instruction limit had been exhausted.
+            if self.stage == STAGE_T12:
+                self._advance_stage()
+            else:
+                self._fail()
+
+    # ------------------------------------------------------------------
+    def _scan(self, dyn: DynInst) -> None:
+        self.count += 1
+        if self.phase == SCAN_FIRST:
+            if self.stage == STAGE_T12:
+                self._scan_not_taken(dyn)
+            else:
+                self._scan_taken_t3(dyn)
+        else:
+            self._scan_validate(dyn)
+
+    def _scan_not_taken(self, dyn: DynInst) -> None:
+        """Stage T12, scanning the (virtual) not-taken path."""
+        if dyn.pc == self.vtarget and not self.skip_type1:
+            self.size_first = self.count - 1
+            self._confirm(conv_type=1, reconv=self.vtarget)
+            return
+        if (
+            dyn.instr.is_branch
+            and effective_taken(dyn)
+            and dyn.instr.target > self.vtarget
+        ):
+            self.candidate = dyn.instr.target
+            self.size_first = self.count
+            self.phase = WAIT_SECOND
+            return
+        if self.count >= self.limit:
+            self._advance_stage()
+
+    def _scan_taken_t3(self, dyn: DynInst) -> None:
+        """Stage T3, scanning the (virtual) taken path for a back-jumper."""
+        if (
+            dyn.instr.is_branch
+            and effective_taken(dyn)
+            and self.vpc < dyn.instr.target < self.vtarget
+        ):
+            self.candidate = dyn.instr.target
+            self.size_first = self.count
+            self.phase = WAIT_SECOND
+            return
+        if self.count >= self.limit:
+            self._fail()
+
+    def _scan_validate(self, dyn: DynInst) -> None:
+        """Confirm the candidate reconvergence point on the other path."""
+        if dyn.pc == self.candidate:
+            self._confirm(conv_type=2 if self.stage == STAGE_T12 else 3,
+                          reconv=self.candidate)
+            return
+        if self.count >= self.limit:
+            if self.stage == STAGE_T12:
+                self._advance_stage()
+            else:
+                self._fail()
+
+    # ------------------------------------------------------------------
+    def _advance_stage(self) -> None:
+        if self.stage == STAGE_T12:
+            self.stage = STAGE_T3
+            self.phase = WAIT_FIRST
+            self.candidate = -1
+            self.count = 0
+        else:
+            self._fail()
+
+    def _confirm(self, conv_type: int, reconv: int) -> None:
+        size_second = self.count - 1 if self.phase == SCAN_SECOND else 0
+        result = ConvergenceResult(
+            self.branch_pc,
+            conv_type,
+            reconv,
+            self.backward,
+            body_size=max(1, self.size_first + size_second),
+        )
+        callback = self.on_converged
+        self.reset()
+        if callback is not None:
+            callback(result)
+
+    def _fail(self) -> None:
+        pc = self.branch_pc
+        callback = self.on_failed
+        self.reset()
+        if callback is not None:
+            callback(pc)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def storage_bits() -> int:
+        """The paper budgets 20 bytes for this structure (Section III-B)."""
+        return 20 * 8

@@ -1,0 +1,234 @@
+"""ACB: the end-to-end hardware predication scheme (Section III).
+
+Wires the Critical Table (criticality filter), Learning Table (convergence
+detection), ACB Table (criticality confidence + learned metadata), Tracking
+Table (convergence confidence) and Dynamo (run-time throttling) into a
+:class:`~repro.core.predication.PredicationScheme` that the core drives.
+
+The scheme is pure hardware: it never consults the program's CFG — all
+convergence knowledge comes from watching the fetch stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.acb.acb_table import AcbTable
+from repro.acb.config import AcbConfig, REDUCED_DEFAULT
+from repro.acb.critical_table import CriticalTable
+from repro.acb.dynamo import Dynamo
+from repro.acb.learning import ConvergenceResult, LearningTable
+from repro.acb.storage import storage_report
+from repro.acb.tracking import TrackingTable
+from repro.branch.base import Prediction
+from repro.core.predication import PredicationPlan, PredicationScheme, RegionRecord
+from repro.isa.dyninst import DynInst, ROLE_SELECT
+
+
+class AcbScheme(PredicationScheme):
+    """Auto-Predication of Critical Branches."""
+
+    name = "acb"
+
+    def __init__(self, config: AcbConfig = REDUCED_DEFAULT):
+        self.config = config
+        self.updates_history_on_predication = config.oracle_history
+        self.critical = CriticalTable(
+            config.critical_entries,
+            config.critical_tag_bits,
+            config.critical_counter_bits,
+        )
+        self.learning = LearningTable(
+            limit=config.learning_limit,
+            on_converged=self._on_converged,
+            on_failed=self._on_learning_failed,
+        )
+        self.table = AcbTable(config)
+        self.tracking = TrackingTable(
+            limit=config.learning_limit + config.divergence_slack,
+            on_diverged=self._on_tracking_diverged,
+        )
+        # run-time monitor: Dynamo by default, the rejected stall-count
+        # heuristic for the Section V-B ablation, or nothing.
+        self.dynamo: Optional[Dynamo] = None
+        self.monitor = None
+        if config.dynamo_enabled:
+            if config.throttle == "dynamo":
+                self.dynamo = Dynamo(config, self.table)
+                self.monitor = self.dynamo
+            else:
+                from repro.acb.throttle import StallThrottle
+
+                self.monitor = StallThrottle(config, self.table,
+                                             config.stall_threshold)
+        self._retired_since_decay = 0
+        self._branch_pc_by_seq = {}
+        self._far_pending = -1
+        # diagnostics
+        self.learned = 0
+        self.learning_failures = 0
+        self.instances = 0
+        self.divergences = 0
+        self.far_relearned = 0
+
+    # ==================================================================
+    # Policy: decide whether to predicate this dynamic instance
+    # ==================================================================
+    def consider(self, dyn: DynInst, prediction: Prediction) -> Optional[PredicationPlan]:
+        entry = self.table.lookup(dyn.pc)
+        if entry is None:
+            return None
+        if not dyn.instr.is_forward_branch:
+            # Backward (loop) branches are learned through the Figure 4
+            # transform but not predicated: predicating a loop iteration
+            # re-encounters the branch itself at the reconvergence point.
+            return None
+        if not self.table.confident(entry):
+            # convergence confidence: passively verify the learned
+            # reconvergence point while criticality confidence builds up
+            if not self.tracking.busy:
+                self.tracking.arm(dyn.pc, entry.reconv_pc)
+            return None
+        if self.monitor is not None and not self.monitor.enabled(entry):
+            return None
+        self.instances += 1
+        if self.monitor is not None:
+            self.monitor.note_instance(entry)
+        if len(self._branch_pc_by_seq) > 8192:
+            self._branch_pc_by_seq.clear()
+        self._branch_pc_by_seq[dyn.seq] = dyn.pc
+        limit = self.config.learning_limit + self.config.divergence_slack
+        return PredicationPlan(
+            branch_pc=dyn.pc,
+            reconv_pc=entry.reconv_pc,
+            conv_type=entry.conv_type,
+            first_taken=entry.first_taken,
+            eager=False,
+            select_uops=self.config.select_uops,
+            max_fetch=limit,
+            max_cycles=self.config.divergence_cycles,
+        )
+
+    # ==================================================================
+    # Learning feeds
+    # ==================================================================
+    def observe_fetch(self, dyn: DynInst) -> None:
+        if self.learning.busy:
+            self.learning.observe(dyn)
+        if self.tracking.busy:
+            self.tracking.observe(dyn)
+
+    def on_branch_resolved(self, dyn: DynInst, mispredicted: bool, predicated: bool) -> None:
+        if predicated:
+            if dyn.diverged:
+                self.divergences += 1
+                entry = self.table.lookup(dyn.pc)
+                if entry is not None:
+                    if self.config.multi_reconv and dyn.instr.is_forward_branch:
+                        # B1 enhancement: hunt for a farther reconvergence
+                        # point instead of giving up on the branch.
+                        if not self.learning.busy and self._far_pending < 0:
+                            self.learning.load(
+                                dyn.pc, dyn.instr.target, skip_type1=True
+                            )
+                            self._far_pending = dyn.pc
+                        entry.conf //= 2
+                    else:
+                        entry.reset_confidence()
+            return
+        # criticality confidence for already-learned branches
+        self.table.train(dyn.pc, mispredicted)
+        if not mispredicted:
+            return
+        if not self._is_critical_event(dyn):
+            return
+        saturated = self.critical.record_mispredict(dyn.pc)
+        if saturated and not self.learning.busy and self.table.lookup(dyn.pc) is None:
+            self.learning.load(dyn.pc, dyn.instr.target)
+
+    def _is_critical_event(self, dyn: DynInst) -> bool:
+        """ROB-proximity criticality heuristic (Section III-A).
+
+        A misprediction counts as critical when the branch sits within a
+        quarter of the ROB from the head at resolution time — those flush
+        the most control-independent work.
+        """
+        if not self.config.use_rob_proximity:
+            return True
+        rob = self.core.rob
+        limit = int(self.core.config.rob_size * self.config.rob_proximity_fraction)
+        if len(rob) <= limit:
+            return True
+        # ROB is seq-ordered: the branch is within the first `limit` slots
+        # iff the entry at that depth is at least as young.
+        return rob[limit - 1].seq >= dyn.seq
+
+    # ==================================================================
+    # Learning-table callbacks
+    # ==================================================================
+    def _on_converged(self, result: ConvergenceResult) -> None:
+        if result.branch_pc == self._far_pending:
+            # multi-reconvergence re-learning: adopt the farther point
+            self._far_pending = -1
+            entry = self.table.lookup(result.branch_pc)
+            if entry is not None and result.reconv_pc > entry.reconv_pc:
+                self.far_relearned += 1
+                entry.conv_type = result.conv_type
+                entry.reconv_pc = result.reconv_pc
+                entry.body_size = result.body_size
+                entry.body_class = self.config.body_size_class(result.body_size)
+                entry.required_m = self.config.required_mispred_rate(result.body_size)
+            return
+        self.learned += 1
+        self.table.allocate(
+            pc=result.branch_pc,
+            conv_type=result.conv_type,
+            reconv_pc=result.reconv_pc,
+            body_size=result.body_size,
+        )
+        self.critical.vacate(result.branch_pc)
+
+    def _on_learning_failed(self, branch_pc: int) -> None:
+        if branch_pc == self._far_pending:
+            self._far_pending = -1  # retry on a later divergence
+            return
+        self.learning_failures += 1
+        self.critical.penalize(branch_pc)
+
+    def _on_tracking_diverged(self, branch_pc: int) -> None:
+        entry = self.table.lookup(branch_pc)
+        if entry is not None:
+            entry.reset_confidence()
+
+    # ==================================================================
+    # Retirement: Dynamo epochs + criticality windows
+    # ==================================================================
+    def on_retire(self, dyn: DynInst) -> None:
+        if self.monitor is not None and self.monitor is not self.dynamo:
+            # stall-count throttle: charge predicated-body issue-queue waits
+            if dyn.acb_id >= 0 and dyn.acb_role not in (ROLE_SELECT,) and not dyn.instr.is_cond_branch:
+                branch_pc = self._branch_pc_by_seq.get(dyn.acb_id)
+                if branch_pc is not None and dyn.issue_cycle > dyn.alloc_cycle:
+                    self.monitor.note_body_stall(
+                        branch_pc, dyn.issue_cycle - dyn.alloc_cycle
+                    )
+        if dyn.pred_false or dyn.acb_role == ROLE_SELECT:
+            return
+        if self.monitor is not None:
+            self.monitor.on_retire(self.core.cycle)
+        self._retired_since_decay += 1
+        if self._retired_since_decay >= self.config.criticality_window:
+            self._retired_since_decay = 0
+            self.critical.decay_window()
+
+    # ==================================================================
+    def on_region_closed(self, region: RegionRecord, diverged: bool) -> None:
+        # per-instance divergence accounting happens at branch resolution
+        pass
+
+    def on_flush(self) -> None:
+        self.learning.abort_scan()
+        self.tracking.abort()
+
+    def storage_bytes(self) -> float:
+        return storage_report(self)["total_bytes"]

@@ -1,0 +1,93 @@
+"""Stall-count throttling — the local heuristic the paper rejected.
+
+Section V-B: before Dynamo, the authors "experimented with execution stalls
+(i.e. waiting for dispatch at issue queue) counting based simpler metric,
+since predication primarily creates additional data-dependencies.  But in a
+few cases, despite high stall counts, performing predication was favorable
+as saved pipeline flushes outweighed the additional stalls incurred.  This
+was also vulnerable to bad tuning."
+
+This module implements that rejected alternative so the claim is testable:
+per predicated branch, it accumulates the issue-queue waiting time of the
+predicated body and disables the branch when the average stall per dynamic
+instance crosses a threshold.  The ablation bench shows exactly the failure
+mode the paper describes — it throttles profitable predications (whose
+bodies *do* stall, by design) along with harmful ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.acb.acb_table import AcbEntry, AcbTable, BAD, GOOD, NEUTRAL
+from repro.acb.config import AcbConfig
+
+
+class StallThrottle:
+    """Per-branch issue-stall accounting with a disable threshold."""
+
+    def __init__(self, config: AcbConfig, table: AcbTable,
+                 stall_threshold: float = 10.0):
+        self.config = config
+        self.table = table
+        #: average body-stall cycles per predicated instance above which the
+        #: branch is disabled — the "bad tuning" knob.
+        self.stall_threshold = stall_threshold
+        self.instr_in_epoch = 0
+        self.retired_total = 0
+        self._stalls: Dict[int, int] = {}     # branch pc -> stall cycles
+        self._instances: Dict[int, int] = {}  # branch pc -> predications
+        self.evaluations = 0
+        self.disabled = 0
+
+    # -- the same driving interface as Dynamo ---------------------------
+    def enabled(self, entry: AcbEntry) -> bool:
+        return entry.fsm != BAD
+
+    def note_instance(self, entry: AcbEntry) -> None:
+        self._instances[entry.pc] = self._instances.get(entry.pc, 0) + 1
+
+    def note_body_stall(self, branch_pc: int, stall_cycles: int) -> None:
+        """Charge one predicated-body micro-op's issue-queue wait."""
+        if stall_cycles > 0:
+            self._stalls[branch_pc] = self._stalls.get(branch_pc, 0) + stall_cycles
+
+    def on_retire(self, cycle: int) -> None:
+        self.retired_total += 1
+        self.instr_in_epoch += 1
+        if self.instr_in_epoch >= self.config.epoch_length:
+            self._evaluate()
+            self.instr_in_epoch = 0
+        if (
+            self.config.dynamo_reset_interval
+            and self.retired_total % self.config.dynamo_reset_interval == 0
+        ):
+            self.reset_states()
+
+    def _evaluate(self) -> None:
+        self.evaluations += 1
+        for pc, instances in self._instances.items():
+            if not instances:
+                continue
+            entry = self.table.lookup(pc)
+            if entry is None or entry.fsm == BAD:
+                continue
+            avg_stall = self._stalls.get(pc, 0) / instances
+            if avg_stall > self.stall_threshold:
+                entry.fsm = BAD
+                self.disabled += 1
+            else:
+                entry.fsm = GOOD
+        self._stalls.clear()
+        self._instances.clear()
+
+    def reset_states(self) -> None:
+        for entry in self.table.entries():
+            entry.fsm = NEUTRAL
+        self._stalls.clear()
+        self._instances.clear()
+
+    @staticmethod
+    def storage_bits() -> int:
+        # comparable counters to Dynamo's budget
+        return 16 * 8

@@ -1,0 +1,68 @@
+"""Tracking Table: convergence confidence (Section III-B).
+
+While a learned branch's criticality confidence is still below the
+activation threshold, a single-entry tracker monitors fetched instances of
+the branch and verifies that the learned reconvergence point actually shows
+up in the fetch stream within the allowed distance.  Instances that diverge
+reset the branch's confidence so frequently diverging branches never
+activate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.isa.dyninst import DynInst
+
+
+class TrackingTable:
+    """Single-entry reconvergence monitor."""
+
+    def __init__(self, limit: int, on_diverged: Optional[Callable[[int], None]] = None):
+        self.limit = limit
+        self.on_diverged = on_diverged
+        self.active = False
+        self.branch_pc = -1
+        self.reconv_pc = -1
+        self.count = 0
+        self.validations = 0
+        self.divergences = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.active
+
+    def arm(self, branch_pc: int, reconv_pc: int) -> None:
+        """Start watching one fetched instance of *branch_pc*."""
+        if self.active:
+            return
+        self.active = True
+        self.branch_pc = branch_pc
+        self.reconv_pc = reconv_pc
+        self.count = 0
+
+    def abort(self) -> None:
+        """A pipeline flush invalidated the monitored stream: disarm without
+        charging a divergence."""
+        self.active = False
+
+    def observe(self, dyn: DynInst) -> None:
+        """Feed one fetched instruction from the stream."""
+        if not self.active:
+            return
+        if dyn.pc == self.reconv_pc:
+            self.validations += 1
+            self.active = False
+            return
+        self.count += 1
+        if self.count > self.limit:
+            self.divergences += 1
+            pc = self.branch_pc
+            self.active = False
+            if self.on_diverged is not None:
+                self.on_diverged(pc)
+
+    @staticmethod
+    def storage_bits() -> int:
+        # branch PC (48) + reconvergence PC (48) + count (8) + valid/dir bits
+        return 14 * 8

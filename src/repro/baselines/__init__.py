@@ -1,0 +1,18 @@
+"""Prior-work baselines: DMP, DMP-PBH (oracle history), and DHP."""
+
+from repro.baselines.profiles import BranchProfile, profile_workload
+from repro.baselines.dmp import DmpConfig, DmpPbhScheme, DmpScheme
+from repro.baselines.dhp import DhpConfig, DhpScheme
+from repro.baselines.wish import WishConfig, WishScheme
+
+__all__ = [
+    "BranchProfile",
+    "profile_workload",
+    "DmpConfig",
+    "DmpScheme",
+    "DmpPbhScheme",
+    "DhpConfig",
+    "DhpScheme",
+    "WishConfig",
+    "WishScheme",
+]

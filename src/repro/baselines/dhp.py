@@ -1,0 +1,34 @@
+"""Dynamic Hammock Predication baseline (Klauser et al. [11]).
+
+DHP predicates only *simple, short* hammocks — straight-line bodies with no
+stores, identified by the compiler — on low-confidence predictions.  Its
+limitation is coverage: complex convergent control flow (Types 2/3, nested
+shapes, bodies with stores) is out of reach, which is why the paper finds
+it captures roughly half of ACB's gain (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dmp import DmpConfig, DmpScheme
+from repro.baselines.profiles import BranchProfile
+
+
+@dataclass(frozen=True)
+class DhpConfig(DmpConfig):
+    """DHP restricts the predicable shape far more than DMP."""
+
+    max_body_size: int = 8
+
+
+class DhpScheme(DmpScheme):
+    """Short-simple-hammock-only dynamic predication."""
+
+    name = "dhp"
+
+    def __init__(self, config: DhpConfig = DhpConfig()):
+        super().__init__(config)
+
+    def _extra_filter(self, profile: BranchProfile) -> bool:
+        return profile.simple and not profile.has_store and profile.conv_type in (1, 2)

@@ -1,0 +1,133 @@
+"""Diverge-Merge Processor baseline (Kim et al. [7], enhanced [15]).
+
+DMP predicates compiler-selected branches whose *dynamic* prediction has
+low confidence.  Key modelled properties, each load-bearing for the paper's
+Section V-C comparison:
+
+* **Compiler selection** — candidates come from a profiling pass over the
+  *training* input plus exact CFG convergence analysis (guaranteed
+  reconvergence points, covering the multi-exit shapes ACB cannot learn —
+  the category B1 advantage).
+* **Eager execution with select micro-ops** — the predicated body executes
+  before the branch resolves; select micro-ops injected at the merge point
+  reconcile live-outs (the category B2 advantage, and the category E
+  allocation-stall liability).
+* **Confidence gating** — a JRS-style estimator decides per instance.
+* **Branch-history corruption** — predicated instances vanish from the
+  global history; because gating is per-instance, the same static branch
+  sometimes appears in the history and sometimes not, thrashing TAGE
+  (categories D/E).  The ``DmpPbhScheme`` oracle variant (Fig. 9) instead
+  inserts the true outcome.
+* **No run-time performance monitor** — nothing like Dynamo exists, so
+  harmful candidates keep predicating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.profiles import BranchProfile, profile_workload
+from repro.branch.base import Prediction
+from repro.branch.confidence import ConfidenceEstimator
+from repro.core.predication import PredicationPlan, PredicationScheme
+from repro.isa.dyninst import DynInst
+
+
+@dataclass(frozen=True)
+class DmpConfig:
+    """Tunables of the DMP baseline."""
+
+    profile_instructions: int = 20_000
+    min_mispred_rate: float = 0.03   # compiler's H2P selection threshold
+    max_body_size: int = 40
+    confidence_size: int = 1024
+    confidence_threshold: int = 12   # below this counter value = low confidence
+    max_fetch_slack: int = 40
+    max_cycles: int = 400
+
+
+class DmpScheme(PredicationScheme):
+    """Confidence-gated dynamic predication with compiler support."""
+
+    name = "dmp"
+
+    def __init__(self, config: DmpConfig = DmpConfig()):
+        self.config = config
+        self.confidence = ConfidenceEstimator(
+            size=config.confidence_size, threshold=config.confidence_threshold
+        )
+        self.candidates: Dict[int, BranchProfile] = {}
+        self.instances = 0
+        self.divergences = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, core) -> None:
+        super().attach(core)
+        self._compile(core.workload)
+
+    def _compile(self, workload) -> None:
+        """The compiler pass: profile the training input, select targets."""
+        profiles = profile_workload(workload, self.config.profile_instructions)
+        self.candidates = {
+            p.pc: p
+            for p in profiles.values()
+            if (
+                p.mispred_rate >= self.config.min_mispred_rate
+                and p.conv_type is not None
+                and p.reconv_pc is not None
+                and 0 < p.body_size <= self.config.max_body_size
+                and self._extra_filter(p)
+            )
+        }
+
+    def _extra_filter(self, profile: BranchProfile) -> bool:
+        """Hook for subclasses (DHP restricts shape)."""
+        return True
+
+    # ------------------------------------------------------------------
+    def consider(self, dyn: DynInst, prediction: Prediction) -> Optional[PredicationPlan]:
+        profile = self.candidates.get(dyn.pc)
+        if profile is None:
+            return None
+        if self.confidence.is_confident(dyn.pc):
+            return None  # prediction trusted: speculate normally
+        self.instances += 1
+        return PredicationPlan(
+            branch_pc=dyn.pc,
+            reconv_pc=profile.reconv_pc,
+            conv_type=profile.conv_type,
+            first_taken=profile.conv_type == 3,
+            eager=True,
+            select_uops=True,
+            max_fetch=profile.body_size + self.config.max_fetch_slack,
+            max_cycles=self.config.max_cycles,
+        )
+
+    def on_branch_resolved(self, dyn: DynInst, mispredicted: bool, predicated: bool) -> None:
+        if predicated:
+            if dyn.diverged:
+                self.divergences += 1
+            # train confidence with the outcome the predictor would have had
+            if dyn.pred_taken is not None and dyn.taken is not None:
+                self.confidence.train(dyn.pc, dyn.pred_taken == dyn.taken)
+            return
+        self.confidence.train(dyn.pc, not mispredicted)
+
+    def storage_bytes(self) -> float:
+        # the confidence estimator is DMP's only dedicated table; the rest
+        # lives in the compiled binary and ISA (the paper's adoption
+        # criticism).
+        return self.confidence.storage_bits() / 8
+
+
+class DmpPbhScheme(DmpScheme):
+    """DMP with oracle Perfect Branch History (Fig. 9's DMP-PBH).
+
+    Identical policy, but every predicated instance's *true* outcome is
+    inserted into the global history at fetch, isolating how much of DMP's
+    loss comes from history corruption.
+    """
+
+    name = "dmp-pbh"
+    updates_history_on_predication = True

@@ -1,0 +1,109 @@
+"""Compiler profiling pass for the DMP and DHP baselines.
+
+DMP [7], [15] relies on the compiler to (a) profile a *training input* and
+mark frequently mispredicting branches, and (b) supply convergence
+information (diverge/merge points) through the ISA.  We own the program
+representation, so this module plays the compiler: it runs a fast
+functional profile of the training workload through a predictor and
+combines it with exact CFG analysis.
+
+Because it profiles the *training* input (``Workload.train``), its branch
+selection inherits the train/test mismatch the paper highlights in
+Section II-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.branch import TagePredictor
+from repro.program.cfg import classify_hammock, find_guaranteed_reconvergence
+from repro.workloads.workload import FunctionalExecutor, Workload
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Compiler knowledge about one conditional branch."""
+
+    pc: int
+    executed: int
+    mispredicted: int
+    reconv_pc: Optional[int]        # guaranteed (post-dominator style) point
+    conv_type: Optional[int]        # 1/2/3 per Figure 3, None if unsupported
+    body_size: int
+    simple: bool                    # straight-line hammock (DHP's requirement)
+    has_store: bool
+
+    @property
+    def mispred_rate(self) -> float:
+        return self.mispredicted / self.executed if self.executed else 0.0
+
+
+def _conv_type(branch_pc: int, target: int, reconv: int) -> Optional[int]:
+    """Map a reconvergence point onto the Figure 3 type taxonomy."""
+    if target <= branch_pc:
+        return None  # backward branches are not predicated (see AcbScheme)
+    if reconv == target:
+        return 1
+    if reconv > target:
+        return 2
+    if branch_pc < reconv < target:
+        return 3
+    return None
+
+
+def profile_workload(
+    workload: Workload,
+    instructions: int = 20_000,
+    max_dist: int = 64,
+) -> Dict[int, BranchProfile]:
+    """Profile the *training* input of *workload*.
+
+    Runs a functional (timing-free) execution with an in-order TAGE model to
+    estimate per-branch misprediction rates, then attaches CFG-derived
+    convergence facts.  The returned map is the "compiled binary metadata"
+    the DMP/DHP hardware consumes.
+    """
+    train = workload.train if workload.train is not None else workload
+    program = train.program
+    executor = FunctionalExecutor(train)
+    bp = TagePredictor()
+    executed: Dict[int, int] = {}
+    missed: Dict[int, int] = {}
+
+    pc = 0
+    for _ in range(instructions):
+        instr = program[pc]
+        if instr.is_cond_branch:
+            pred = bp.predict(pc)
+            result = executor.step(pc)
+            taken = result.taken
+            executed[pc] = executed.get(pc, 0) + 1
+            if pred.taken != taken:
+                missed[pc] = missed.get(pc, 0) + 1
+            bp.spec_push(pc, taken)  # profiler sees perfect history
+            bp.update(pc, taken, pred.meta, pred.taken != taken)
+            pc = result.next_pc
+        else:
+            pc = executor.step(pc).next_pc
+
+    profiles: Dict[int, BranchProfile] = {}
+    for bpc, count in executed.items():
+        instr = program[bpc]
+        reconv = find_guaranteed_reconvergence(program, bpc, max_dist)
+        conv_type = (
+            _conv_type(bpc, instr.target, reconv) if reconv is not None else None
+        )
+        info = classify_hammock(program, bpc, max_dist)
+        profiles[bpc] = BranchProfile(
+            pc=bpc,
+            executed=count,
+            mispredicted=missed.get(bpc, 0),
+            reconv_pc=reconv,
+            conv_type=conv_type,
+            body_size=info.body_size if info is not None else 0,
+            simple=info.simple if info is not None else False,
+            has_store=info.has_store if info is not None else False,
+        )
+    return profiles

@@ -1,0 +1,56 @@
+"""Wish Branches baseline (Kim et al. [12]).
+
+Wish branches have the compiler emit *predicated code for every branch*
+that can be predicated; at run time, low-confidence instances execute the
+predicated version (no flush, data-dependent on the predicate) while
+high-confidence instances branch normally.  Two properties distinguish it
+from DMP, both noted in the paper's Section II-B:
+
+* **No hard-to-predict selection** — any convergent branch is a candidate,
+  so cold confidence predicates easy branches too and the predication
+  overhead is paid far more broadly than under DMP's profile-driven
+  selection (DMP "improves upon Wish Branches and DHP").
+* **Predicated-code semantics** — the region executes as data-dependent
+  predicated code rather than DMP's eagerly executed dual path with select
+  micro-ops, i.e. the body waits on the predicate (modelled as the
+  stall-until-resolve mechanics, without select micro-ops).
+
+The increased compiled-code footprint the paper also criticizes has no
+timing analogue in this model and is not represented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.dmp import DmpConfig, DmpScheme
+from repro.branch.base import Prediction
+from repro.core.predication import PredicationPlan
+from repro.isa.dyninst import DynInst
+
+
+@dataclass(frozen=True)
+class WishConfig(DmpConfig):
+    """Any convergent branch qualifies — there is no H2P profiling gate."""
+
+    min_mispred_rate: float = 0.0
+
+
+class WishScheme(DmpScheme):
+    """Confidence-gated predicated code on every convergent branch."""
+
+    name = "wish"
+
+    def __init__(self, config: WishConfig = WishConfig()):
+        super().__init__(config)
+
+    def consider(self, dyn: DynInst, prediction: Prediction) -> Optional[PredicationPlan]:
+        plan = super().consider(dyn, prediction)
+        if plan is None:
+            return None
+        # predicated-code semantics: the region is data-dependent on the
+        # predicate, not eagerly executed and merged.
+        plan.eager = False
+        plan.select_uops = False
+        return plan

@@ -1,0 +1,47 @@
+"""Branch prediction substrate: TAGE, simpler baselines, the Figure 1
+oracle, a JRS confidence estimator (for the DMP/DHP baselines), and a BTB.
+"""
+
+from repro.branch.base import Prediction, Predictor
+from repro.branch.history import GlobalHistory
+from repro.branch.bimodal import BimodalPredictor, BimodalTable
+from repro.branch.gshare import GSharePredictor
+from repro.branch.tage import TagePredictor
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.oracle import OraclePredictor
+from repro.branch.confidence import ConfidenceEstimator
+from repro.branch.btb import BranchTargetBuffer
+
+PREDICTORS = {
+    "bimodal": BimodalPredictor,
+    "gshare": GSharePredictor,
+    "perceptron": PerceptronPredictor,
+    "tage": TagePredictor,
+    "oracle": OraclePredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> Predictor:
+    """Instantiate a predictor by configuration name."""
+    try:
+        cls = PREDICTORS[name]
+    except KeyError:
+        raise ValueError(f"unknown predictor {name!r}; choose from {sorted(PREDICTORS)}")
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Prediction",
+    "Predictor",
+    "GlobalHistory",
+    "BimodalPredictor",
+    "BimodalTable",
+    "GSharePredictor",
+    "PerceptronPredictor",
+    "TagePredictor",
+    "OraclePredictor",
+    "ConfidenceEstimator",
+    "BranchTargetBuffer",
+    "PREDICTORS",
+    "make_predictor",
+]

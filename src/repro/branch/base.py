@@ -1,0 +1,59 @@
+"""Common predictor interface.
+
+All predictors share a speculative global-history discipline: the *predicted*
+outcome of every conditional branch is pushed into the history at prediction
+time (speculative update, [30] in the paper), a checkpoint is attached to the
+in-flight branch, and a misprediction flush restores the checkpoint and
+pushes the actual outcome.  Dynamic predication interacts with exactly this
+machinery: predicated instances are withheld from the history entirely
+(Section V-C), which is what perturbs correlated branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class Prediction:
+    """Result of one branch lookup."""
+
+    taken: bool
+    meta: Any = None       # provider info threaded back into update()
+    confidence: float = 1.0  # [0, 1]; used by confidence-gated schemes
+
+
+class Predictor:
+    """Abstract conditional-branch direction predictor."""
+
+    name = "abstract"
+
+    def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
+        """Predict the branch at *pc*.
+
+        *actual* is supplied by the simulator for oracle predictors only;
+        realizable predictors must ignore it.
+        """
+        raise NotImplementedError
+
+    def spec_push(self, pc: int, taken: bool) -> None:
+        """Speculatively insert an outcome into the global history."""
+
+    def push_outcome(self, pc: int, taken: bool) -> None:
+        """Non-speculative history insert (used by oracle-history variants)."""
+        self.spec_push(pc, taken)
+
+    def checkpoint(self) -> Any:
+        """Opaque history checkpoint to attach to an in-flight branch."""
+        return None
+
+    def restore(self, cp: Any, pc: int, actual: bool) -> None:
+        """Recover from a misprediction: restore *cp*, then insert *actual*."""
+
+    def update(self, pc: int, taken: bool, meta: Any, mispredicted: bool) -> None:
+        """Train tables when the branch resolves on the correct path."""
+
+    def storage_bits(self) -> int:
+        """Approximate table storage, for reporting."""
+        return 0

@@ -1,0 +1,57 @@
+"""PC-indexed 2-bit bimodal predictor.
+
+Serves both as a standalone baseline and as the base component of TAGE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.base import Prediction, Predictor
+
+
+class BimodalTable:
+    """An array of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, size: int = 4096):
+        if size & (size - 1):
+            raise ValueError("size must be a power of two")
+        self.size = size
+        self.ctrs = [2] * size  # weakly taken
+
+    def index(self, pc: int) -> int:
+        return pc & (self.size - 1)
+
+    def lookup(self, pc: int) -> int:
+        return self.ctrs[self.index(pc)]
+
+    def train(self, pc: int, taken: bool) -> None:
+        i = self.index(pc)
+        c = self.ctrs[i]
+        if taken:
+            if c < 3:
+                self.ctrs[i] = c + 1
+        elif c > 0:
+            self.ctrs[i] = c - 1
+
+    def storage_bits(self) -> int:
+        return 2 * self.size
+
+
+class BimodalPredictor(Predictor):
+    """History-free predictor; the weakest realizable baseline."""
+
+    name = "bimodal"
+
+    def __init__(self, size: int = 4096):
+        self.table = BimodalTable(size)
+
+    def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
+        c = self.table.lookup(pc)
+        return Prediction(taken=c >= 2, meta=None, confidence=abs(c - 1.5) / 1.5)
+
+    def update(self, pc: int, taken: bool, meta, mispredicted: bool) -> None:
+        self.table.train(pc, taken)
+
+    def storage_bits(self) -> int:
+        return self.table.storage_bits()

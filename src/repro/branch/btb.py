@@ -1,0 +1,53 @@
+"""Branch target buffer.
+
+Our static programs carry targets in the instruction encoding, so target
+*values* are always available at decode; the BTB models the *timing* cost of
+discovering at fetch that an instruction is a taken branch.  A BTB miss on a
+taken branch inserts a one-cycle fetch bubble (decode redirect).  The default
+configuration sizes the BTB large enough that generated kernels fit, matching
+the paper's implicit assumption that H2P direction prediction — not target
+prediction — is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement."""
+
+    def __init__(self, sets: int = 512, ways: int = 4):
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        self.sets = sets
+        self.ways = ways
+        self._data = [OrderedDict() for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set(self, pc: int) -> OrderedDict:
+        return self._data[pc & (self.sets - 1)]
+
+    def lookup(self, pc: int) -> bool:
+        """``True`` on hit; trains LRU."""
+        entry_set = self._set(pc)
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, pc: int, target: int) -> None:
+        entry_set = self._set(pc)
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+        else:
+            if len(entry_set) >= self.ways:
+                entry_set.popitem(last=False)
+        entry_set[pc] = target
+
+    def storage_bits(self) -> int:
+        # tag (~20b) + target (~32b) per way
+        return self.sets * self.ways * 52

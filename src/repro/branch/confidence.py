@@ -1,0 +1,41 @@
+"""JRS-style branch-confidence estimator.
+
+Diverge-Merge and DHP predicate a branch instance only when the prediction
+has *low confidence*.  The classic estimator (Jacobsen, Rotenberg, Smith) is
+a table of resetting counters: correct predictions increment, a
+misprediction resets.  A saturated-enough counter means "confident".
+"""
+
+from __future__ import annotations
+
+
+class ConfidenceEstimator:
+    """Table of 4-bit resetting confidence counters indexed by branch PC."""
+
+    def __init__(self, size: int = 1024, threshold: int = 12, max_value: int = 15):
+        if size & (size - 1):
+            raise ValueError("size must be a power of two")
+        if not 0 < threshold <= max_value:
+            raise ValueError("threshold must lie in (0, max_value]")
+        self.size = size
+        self.threshold = threshold
+        self.max_value = max_value
+        self.ctrs = [0] * size
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (pc >> 10)) & (self.size - 1)
+
+    def is_confident(self, pc: int) -> bool:
+        """``True`` when recent predictions for *pc* have been reliable."""
+        return self.ctrs[self._index(pc)] >= self.threshold
+
+    def train(self, pc: int, correct: bool) -> None:
+        i = self._index(pc)
+        if correct:
+            if self.ctrs[i] < self.max_value:
+                self.ctrs[i] += 1
+        else:
+            self.ctrs[i] = 0
+
+    def storage_bits(self) -> int:
+        return 4 * self.size

@@ -1,0 +1,52 @@
+"""Gshare predictor: PC xor global-history indexed 2-bit counters."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.base import Prediction, Predictor
+from repro.branch.history import GlobalHistory
+
+
+class GSharePredictor(Predictor):
+    """Classic gshare with speculative history update and recovery."""
+
+    name = "gshare"
+
+    def __init__(self, size: int = 8192, hist_len: int = 13):
+        if size & (size - 1):
+            raise ValueError("size must be a power of two")
+        self.size = size
+        self.ctrs = [2] * size
+        self.hist = GlobalHistory(hist_len)
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.hist.recent(self.hist.length)) & (self.size - 1)
+
+    def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
+        i = self._index(pc)
+        c = self.ctrs[i]
+        return Prediction(taken=c >= 2, meta=i, confidence=abs(c - 1.5) / 1.5)
+
+    def spec_push(self, pc: int, taken: bool) -> None:
+        self.hist.push(taken)
+
+    def checkpoint(self) -> int:
+        return self.hist.checkpoint()
+
+    def restore(self, cp: int, pc: int, actual) -> None:
+        self.hist.restore(cp)
+        if actual is not None:
+            self.hist.push(actual)
+
+    def update(self, pc: int, taken: bool, meta, mispredicted: bool) -> None:
+        i = meta if meta is not None else self._index(pc)
+        c = self.ctrs[i]
+        if taken:
+            if c < 3:
+                self.ctrs[i] = c + 1
+        elif c > 0:
+            self.ctrs[i] = c - 1
+
+    def storage_bits(self) -> int:
+        return 2 * self.size + self.hist.length

@@ -1,0 +1,36 @@
+"""Global branch history register with O(1) checkpointing.
+
+The history is a Python integer treated as a bit vector (bit 0 = most recent
+outcome).  Checkpoint/restore is a plain integer copy, so attaching a
+checkpoint to every in-flight conditional branch is cheap — the property the
+whole speculative-update/recovery discipline relies on.
+"""
+
+from __future__ import annotations
+
+
+class GlobalHistory:
+    """Fixed-length speculative global history."""
+
+    def __init__(self, length: int = 256):
+        if length < 1:
+            raise ValueError("history length must be positive")
+        self.length = length
+        self._mask = (1 << length) - 1
+        self.bits = 0
+
+    def push(self, taken: bool) -> None:
+        self.bits = ((self.bits << 1) | (1 if taken else 0)) & self._mask
+
+    def recent(self, n: int) -> int:
+        """The *n* most recent outcomes as an integer."""
+        return self.bits & ((1 << n) - 1)
+
+    def checkpoint(self) -> int:
+        return self.bits
+
+    def restore(self, cp: int) -> None:
+        self.bits = cp
+
+    def __len__(self) -> int:
+        return self.length

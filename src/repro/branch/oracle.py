@@ -1,0 +1,24 @@
+"""Perfect branch predictor (the Figure 1 oracle)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.base import Prediction, Predictor
+
+
+class OraclePredictor(Predictor):
+    """Always predicts the actual outcome the simulator supplies.
+
+    Wrong-path branches (which have no architectural outcome) fall back to
+    not-taken — with an oracle there is no wrong path to begin with, so the
+    fallback never influences results.
+    """
+
+    name = "oracle"
+
+    def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
+        return Prediction(taken=bool(actual), meta=None, confidence=1.0)
+
+    def storage_bits(self) -> int:
+        return 0

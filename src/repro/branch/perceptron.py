@@ -1,0 +1,86 @@
+"""Perceptron branch predictor (Jiménez & Lin [5]).
+
+Included because the paper positions ACB as "applicable on top of any
+baseline branch predictor": the predictor-sensitivity bench runs ACB over
+bimodal/gshare/perceptron/TAGE baselines.
+
+Each branch hashes to a weight vector; the prediction is the sign of the
+dot product of the weights with the recent global history (±1 encoded plus
+a bias term), and training runs on mispredictions or low-magnitude outputs
+(the θ threshold), per the original algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.base import Prediction, Predictor
+from repro.branch.history import GlobalHistory
+
+
+class PerceptronPredictor(Predictor):
+    """Global-history perceptron with speculative-history recovery."""
+
+    name = "perceptron"
+
+    def __init__(self, entries: int = 512, history: int = 24,
+                 weight_bits: int = 8):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.history = history
+        self.wmax = (1 << (weight_bits - 1)) - 1
+        self.wmin = -(1 << (weight_bits - 1))
+        # weights[i][0] is the bias; [1..history] pair with history bits
+        self.weights: List[List[int]] = [
+            [0] * (history + 1) for _ in range(entries)
+        ]
+        self.hist = GlobalHistory(history)
+        # the published training threshold
+        self.theta = int(1.93 * history + 14)
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (pc >> 9)) & (self.entries - 1)
+
+    def _output(self, pc: int) -> int:
+        w = self.weights[self._index(pc)]
+        bits = self.hist.bits
+        y = w[0]
+        for i in range(1, self.history + 1):
+            if (bits >> (i - 1)) & 1:
+                y += w[i]
+            else:
+                y -= w[i]
+        return y
+
+    def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
+        y = self._output(pc)
+        conf = min(1.0, abs(y) / max(1, self.theta))
+        return Prediction(taken=y >= 0, meta=(y, self.hist.bits), confidence=conf)
+
+    def spec_push(self, pc: int, taken: bool) -> None:
+        self.hist.push(taken)
+
+    def checkpoint(self) -> int:
+        return self.hist.checkpoint()
+
+    def restore(self, cp: int, pc: int, actual) -> None:
+        self.hist.restore(cp)
+        if actual is not None:
+            self.hist.push(actual)
+
+    def update(self, pc: int, taken: bool, meta, mispredicted: bool) -> None:
+        if meta is None:
+            return
+        y, hist_bits = meta
+        if not mispredicted and abs(y) > self.theta:
+            return
+        w = self.weights[self._index(pc)]
+        t = 1 if taken else -1
+        w[0] = max(self.wmin, min(self.wmax, w[0] + t))
+        for i in range(1, self.history + 1):
+            x = 1 if (hist_bits >> (i - 1)) & 1 else -1
+            w[i] = max(self.wmin, min(self.wmax, w[i] + t * x))
+
+    def storage_bits(self) -> int:
+        return self.entries * (self.history + 1) * 8 + self.history

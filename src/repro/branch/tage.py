@@ -1,0 +1,219 @@
+"""TAGE branch predictor (Seznec [2]).
+
+A bimodal base table plus several partially-tagged tables indexed by
+geometrically increasing global-history lengths.  The implementation keeps
+the elements the paper's analysis depends on:
+
+* speculative global-history update with checkpoint/repair on flush;
+* allocation of longer-history entries on mispredictions — the mechanism
+  that *thrashes* when dynamic predication makes branch histories unstable
+  (Section V-C);
+* usefulness counters and weak-entry/alt-prediction handling.
+
+Indices and tags are derived by deterministic folding so simulations are
+reproducible across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.branch.base import Prediction, Predictor
+from repro.branch.bimodal import BimodalTable
+from repro.branch.history import GlobalHistory
+
+_MASK64 = (1 << 64) - 1
+
+
+def _fold(value: int, bits: int) -> int:
+    """XOR-fold an arbitrarily long integer down to *bits* bits."""
+    mask = (1 << bits) - 1
+    out = 0
+    while value:
+        out ^= value & mask
+        value >>= bits
+    return out
+
+
+@dataclass
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+    tag: int
+    ctr: int      # 3-bit: 0..7, taken when >= 4
+    useful: int   # 2-bit
+
+
+class _TaggedTable:
+    """One tagged component with its own history length."""
+
+    def __init__(self, size_log2: int, tag_bits: int, hist_len: int):
+        self.size = 1 << size_log2
+        self.size_log2 = size_log2
+        self.tag_bits = tag_bits
+        self.hist_len = hist_len
+        self.entries: List[Optional[_TaggedEntry]] = [None] * self.size
+
+    def index(self, pc: int, hist: int) -> int:
+        h = _fold(hist & ((1 << self.hist_len) - 1), self.size_log2)
+        return (pc ^ (pc >> self.size_log2) ^ h) & (self.size - 1)
+
+    def tag(self, pc: int, hist: int) -> int:
+        h = _fold(hist & ((1 << self.hist_len) - 1), self.tag_bits)
+        return (pc ^ (pc >> 3) ^ (h << 1)) & ((1 << self.tag_bits) - 1)
+
+    def storage_bits(self) -> int:
+        return self.size * (self.tag_bits + 3 + 2)
+
+
+class TagePredictor(Predictor):
+    """TAGE with 5 tagged tables over an up-to-128-bit global history."""
+
+    name = "tage"
+
+    HIST_LENGTHS = (5, 11, 24, 54, 120)
+
+    def __init__(
+        self,
+        table_size_log2: int = 10,
+        tag_bits: int = 10,
+        bimodal_size: int = 8192,
+        seed: int = 0xACB,
+    ):
+        self.base = BimodalTable(bimodal_size)
+        self.tables = [
+            _TaggedTable(table_size_log2, tag_bits, hl) for hl in self.HIST_LENGTHS
+        ]
+        self.hist = GlobalHistory(max(self.HIST_LENGTHS) + 8)
+        self.use_alt_on_weak = 8  # 4-bit counter, midpoint 8
+        self._rng = seed & _MASK64 or 1
+
+    # ------------------------------------------------------------------
+    def _rand(self, n: int) -> int:
+        s = self._rng
+        s ^= (s << 13) & _MASK64
+        s ^= s >> 7
+        s ^= (s << 17) & _MASK64
+        self._rng = s & _MASK64
+        return self._rng % n
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
+        hist = self.hist.bits
+        indices: List[int] = []
+        tags: List[int] = []
+        hits: List[int] = []  # table numbers with a tag match, shortest first
+        for t, table in enumerate(self.tables):
+            idx = table.index(pc, hist)
+            tg = table.tag(pc, hist)
+            indices.append(idx)
+            tags.append(tg)
+            entry = table.entries[idx]
+            if entry is not None and entry.tag == tg:
+                hits.append(t)
+
+        base_ctr = self.base.lookup(pc)
+        base_pred = base_ctr >= 2
+
+        provider = hits[-1] if hits else -1
+        alt = hits[-2] if len(hits) >= 2 else -1
+        alt_pred = (
+            self.tables[alt].entries[indices[alt]].ctr >= 4 if alt >= 0 else base_pred
+        )
+
+        if provider >= 0:
+            entry = self.tables[provider].entries[indices[provider]]
+            provider_pred = entry.ctr >= 4
+            weak = entry.ctr in (3, 4) and entry.useful == 0
+            if weak and self.use_alt_on_weak >= 8:
+                taken = alt_pred
+            else:
+                taken = provider_pred
+            confidence = abs(entry.ctr - 3.5) / 3.5
+        else:
+            provider_pred = base_pred
+            taken = base_pred
+            confidence = abs(base_ctr - 1.5) / 1.5
+
+        meta = (provider, alt, tuple(indices), tuple(tags), provider_pred, alt_pred, taken)
+        return Prediction(taken=taken, meta=meta, confidence=confidence)
+
+    # ------------------------------------------------------------------
+    def spec_push(self, pc: int, taken: bool) -> None:
+        self.hist.push(taken)
+
+    def checkpoint(self) -> int:
+        return self.hist.checkpoint()
+
+    def restore(self, cp: int, pc: int, actual) -> None:
+        self.hist.restore(cp)
+        if actual is not None:
+            self.hist.push(actual)
+
+    # ------------------------------------------------------------------
+    def update(self, pc: int, taken: bool, meta, mispredicted: bool) -> None:
+        if meta is None:
+            return
+        provider, alt, indices, tags, provider_pred, alt_pred, final_pred = meta
+
+        # use_alt_on_weak bookkeeping: when provider entry was weak and the
+        # two predictions disagreed, learn which source to trust.
+        if provider >= 0:
+            entry = self.tables[provider].entries[indices[provider]]
+            if entry is not None and entry.tag == tags[provider]:
+                if provider_pred != alt_pred and entry.ctr in (3, 4) and entry.useful == 0:
+                    if alt_pred == taken and self.use_alt_on_weak < 15:
+                        self.use_alt_on_weak += 1
+                    elif provider_pred == taken and self.use_alt_on_weak > 0:
+                        self.use_alt_on_weak -= 1
+                # train the provider counter
+                if taken and entry.ctr < 7:
+                    entry.ctr += 1
+                elif not taken and entry.ctr > 0:
+                    entry.ctr -= 1
+                # usefulness: provider differed from alternate and was right/wrong
+                if provider_pred != alt_pred:
+                    if provider_pred == taken and entry.useful < 3:
+                        entry.useful += 1
+                    elif provider_pred != taken and entry.useful > 0:
+                        entry.useful -= 1
+        else:
+            self.base.train(pc, taken)
+        if provider == 0 or (provider < 0):
+            # keep the base table warm even when a short table provides
+            self.base.train(pc, taken)
+
+        # allocation on misprediction into a longer-history table — TAGE's
+        # learning mechanism, and its thrashing vector under unstable
+        # histories (Section V-C).
+        if mispredicted and provider < len(self.tables) - 1:
+            start = provider + 1
+            candidates = [
+                t
+                for t in range(start, len(self.tables))
+                if self.tables[t].entries[indices[t]] is None
+                or self.tables[t].entries[indices[t]].useful == 0
+            ]
+            if candidates:
+                # prefer shorter histories, with a 1/2 chance to skip ahead
+                pick = candidates[0]
+                if len(candidates) > 1 and self._rand(2):
+                    pick = candidates[1]
+                self.tables[pick].entries[indices[pick]] = _TaggedEntry(
+                    tag=tags[pick], ctr=4 if taken else 3, useful=0
+                )
+            else:
+                for t in range(start, len(self.tables)):
+                    entry = self.tables[t].entries[indices[t]]
+                    if entry is not None and entry.useful > 0:
+                        entry.useful -= 1
+
+    def storage_bits(self) -> int:
+        return self.base.storage_bits() + sum(t.storage_bits() for t in self.tables)
+
+    # -- introspection for tests ---------------------------------------
+    def tagged_occupancy(self) -> Tuple[int, ...]:
+        """Number of live entries per tagged table (thrashing diagnostics)."""
+        return tuple(
+            sum(1 for e in table.entries if e is not None) for table in self.tables
+        )

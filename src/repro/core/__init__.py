@@ -1,0 +1,25 @@
+"""The out-of-order core: configuration, statistics, and the cycle engine."""
+
+from repro.core.config import CoreConfig, SKYLAKE_LIKE, scaled
+from repro.core.engine import Core, DeadlockError
+from repro.core.predication import (
+    PredicationPlan,
+    PredicationScheme,
+    RegionRecord,
+    region_live_outs,
+)
+from repro.core.stats import BranchPCStats, SimStats
+
+__all__ = [
+    "Core",
+    "CoreConfig",
+    "DeadlockError",
+    "SKYLAKE_LIKE",
+    "scaled",
+    "PredicationPlan",
+    "PredicationScheme",
+    "RegionRecord",
+    "region_live_outs",
+    "BranchPCStats",
+    "SimStats",
+]

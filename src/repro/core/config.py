@@ -1,0 +1,117 @@
+"""Core configuration — the paper's Table II parameters.
+
+The default :class:`CoreConfig` mirrors the Skylake-like machine of the
+paper's baseline; :func:`scaled` produces the wider/deeper machines used in
+Figure 1 and Section V-D ("8-wide with twice the execution/fetch
+resources" is ``scaled(2)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.memory.hierarchy import MemoryConfig
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitectural parameters of the simulated OOO core."""
+
+    # front end
+    fetch_width: int = 6          # instructions fetched per cycle
+    fetch_queue: int = 64         # fetch -> allocate buffer depth
+    flush_latency: int = 14       # redirect cycles after a resolved mispredict
+    predictor: str = "tage"       # see repro.branch.PREDICTORS
+    btb_sets: int = 512
+    btb_ways: int = 4
+
+    # out-of-order engine
+    alloc_width: int = 4          # the alloc_width of Equation 1
+    retire_width: int = 4
+    rob_size: int = 224
+    iq_size: int = 97
+    lq_size: int = 72
+    sq_size: int = 56
+    ports: Dict[str, int] = field(
+        default_factory=lambda: {"alu": 4, "load": 2, "store": 1}
+    )
+
+    # memory
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    store_forward_latency: int = 5
+
+    # clock (reporting only; the paper's 3.2 GHz)
+    freq_ghz: float = 3.2
+
+    #: simulation speed: skip cycles in which the pipeline provably cannot
+    #: make progress (everything waiting on in-flight completions).  Purely
+    #: an execution-time optimization — results are bit-identical (see
+    #: tests/test_engine_fastforward.py).
+    fast_forward: bool = True
+
+    def validate(self) -> None:
+        positive = {
+            "fetch_width": self.fetch_width,
+            "fetch_queue": self.fetch_queue,
+            "flush_latency": self.flush_latency,
+            "alloc_width": self.alloc_width,
+            "retire_width": self.retire_width,
+            "rob_size": self.rob_size,
+            "iq_size": self.iq_size,
+            "lq_size": self.lq_size,
+            "sq_size": self.sq_size,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if not self.ports or any(n <= 0 for n in self.ports.values()):
+            raise ValueError("every port group needs at least one port")
+
+    def table(self) -> Dict[str, str]:
+        """Human-readable parameter dump (the Table II bench)."""
+        mem = self.memory
+        return {
+            "Frequency": f"{self.freq_ghz} GHz",
+            "Fetch width": f"{self.fetch_width}/cycle",
+            "Allocation width": f"{self.alloc_width}/cycle",
+            "Retire width": f"{self.retire_width}/cycle",
+            "ROB / IQ": f"{self.rob_size} / {self.iq_size}",
+            "Load / Store queue": f"{self.lq_size} / {self.sq_size}",
+            "Execution ports": ", ".join(f"{k}:{v}" for k, v in sorted(self.ports.items())),
+            "Branch predictor": self.predictor.upper(),
+            "Mispredict redirect": f"{self.flush_latency} cycles",
+            "L1D": f"{mem.l1_size // 1024}KB/{mem.l1_ways}w, {mem.l1_latency}c",
+            "L2": f"{mem.l2_size // 1024}KB/{mem.l2_ways}w, {mem.l2_latency}c",
+            "LLC": f"{mem.llc_size // 1024}KB/{mem.llc_ways}w, {mem.llc_latency}c",
+            "DRAM": f"{mem.dram_latency}c",
+        }
+
+
+#: The paper's baseline machine.
+SKYLAKE_LIKE = CoreConfig()
+
+
+def scaled(factor: int, base: CoreConfig = SKYLAKE_LIKE) -> CoreConfig:
+    """Scale widths by *factor* and window depths by ``2**(factor-1)``-ish.
+
+    Matches the paper's usage: ``scaled(2)`` is the Section V-D "8-wide with
+    twice the execution/fetch resources" machine; Figure 1's continuum uses
+    factors 1..3.
+    """
+    if factor < 1:
+        raise ValueError("scale factor must be >= 1")
+    if factor == 1:
+        return base
+    return replace(
+        base,
+        fetch_width=base.fetch_width * factor,
+        fetch_queue=base.fetch_queue * factor,
+        alloc_width=base.alloc_width * factor,
+        retire_width=base.retire_width * factor,
+        rob_size=base.rob_size * factor,
+        iq_size=base.iq_size * factor,
+        lq_size=base.lq_size * factor,
+        sq_size=base.sq_size * factor,
+        ports={k: v * factor for k, v in base.ports.items()},
+    )

@@ -1,0 +1,13 @@
+"""Program-criticality analysis (Fields et al. DDG, Section II-A)."""
+
+from repro.criticality.ddg import DdgBuild, build_ddg, critical_seqs, longest_path
+from repro.criticality.analysis import CriticalityReport, classify_mispredictions
+
+__all__ = [
+    "DdgBuild",
+    "build_ddg",
+    "critical_seqs",
+    "longest_path",
+    "CriticalityReport",
+    "classify_mispredictions",
+]

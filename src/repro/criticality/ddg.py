@@ -1,0 +1,111 @@
+"""Data-dependency-graph model of program criticality (Fields et al. [16]).
+
+The paper's Section II-A uses the Fields model: execution is a weighted
+graph whose nodes are per-instruction pipeline events and whose maximum
+weighted path is the *critical path*; only events on that path determine
+run time.  We build the graph over a retired-instruction log using the
+*observed* event times, so edge weights are the real latencies the
+simulation produced, and longest-path extraction reduces to walking the
+binding (last-arriving) constraint of each event backwards.
+
+Node kinds per retired instruction:
+
+* ``D`` — dispatch (allocation into the OOO window),
+* ``E`` — execution complete,
+* ``C`` — commit.
+
+Edge kinds (following [16]): in-order dispatch ``D→D``, intra-instruction
+``D→E`` and ``E→C``, in-order commit ``C→C``, data dependences
+``E(producer)→E(consumer)``, and the control edge ``E(branch)→D(next)``
+for mispredicted branches, weighted by the pipeline's flush latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.isa.dyninst import DynInst
+
+D, E, C = "D", "E", "C"
+
+
+@dataclass
+class DdgBuild:
+    """The graph plus the bookkeeping needed to interpret it."""
+
+    graph: nx.DiGraph
+    insts: List[DynInst]
+    producers: Dict[int, List[int]] = field(default_factory=dict)  # seq -> producer seqs
+
+
+def _replay_dependencies(log: Sequence[DynInst]) -> Dict[int, List[int]]:
+    """Rebuild data edges by replaying renaming over the retired stream.
+
+    Predicated-false-path producers are transparent moves of the previous
+    value, so their only input edge is the prior writer of their
+    destination — matching what the hardware rewired them to.
+    """
+    last_writer: Dict[int, int] = {}
+    producers: Dict[int, List[int]] = {}
+    for dyn in log:
+        instr = dyn.instr
+        srcs: List[int] = []
+        if dyn.pred_false and instr.writes_register:
+            prev = last_writer.get(instr.dst)
+            if prev is not None:
+                srcs.append(prev)
+        elif not dyn.pred_false:
+            for reg in instr.srcs:
+                prev = last_writer.get(reg)
+                if prev is not None:
+                    srcs.append(prev)
+        producers[dyn.seq] = srcs
+        if instr.writes_register:
+            last_writer[instr.dst] = dyn.seq
+    return producers
+
+
+def build_ddg(log: Sequence[DynInst], flush_latency: int) -> DdgBuild:
+    """Construct the Fields graph from a retired-instruction log."""
+    graph = nx.DiGraph()
+    producers = _replay_dependencies(log)
+    by_seq = {dyn.seq: dyn for dyn in log}
+
+    prev: Optional[DynInst] = None
+    for dyn in log:
+        graph.add_node((D, dyn.seq), cycle=dyn.alloc_cycle)
+        graph.add_node((E, dyn.seq), cycle=dyn.done_cycle)
+        graph.add_node((C, dyn.seq), cycle=dyn.done_cycle)
+        exec_latency = max(0, dyn.done_cycle - dyn.issue_cycle)
+        graph.add_edge((D, dyn.seq), (E, dyn.seq), weight=exec_latency, kind="exec")
+        graph.add_edge((E, dyn.seq), (C, dyn.seq), weight=0, kind="commit")
+        if prev is not None:
+            graph.add_edge((D, prev.seq), (D, dyn.seq), weight=0, kind="dispatch")
+            graph.add_edge((C, prev.seq), (C, dyn.seq), weight=0, kind="commit_order")
+            if prev.instr.is_cond_branch and prev.mispredicted:
+                graph.add_edge(
+                    (E, prev.seq), (D, dyn.seq), weight=flush_latency, kind="control"
+                )
+        for producer_seq in producers[dyn.seq]:
+            if producer_seq in by_seq:
+                graph.add_edge(
+                    (E, producer_seq), (E, dyn.seq), weight=exec_latency, kind="data"
+                )
+        prev = dyn
+    return DdgBuild(graph=graph, insts=list(log), producers=producers)
+
+
+def longest_path(build: DdgBuild) -> List[Tuple[str, int]]:
+    """Maximum-weight path through the DDG (the critical path)."""
+    return nx.dag_longest_path(build.graph, weight="weight")
+
+
+def critical_seqs(build: DdgBuild) -> Dict[int, List[str]]:
+    """Map seq → node kinds on the critical path."""
+    out: Dict[int, List[str]] = {}
+    for kind, seq in longest_path(build):
+        out.setdefault(seq, []).append(kind)
+    return out

@@ -1,0 +1,28 @@
+"""Experiment harness: run drivers for every figure and table."""
+
+from repro.harness.runner import (
+    RunResult,
+    SCHEME_FACTORIES,
+    compare_configs,
+    default_measure,
+    default_warmup,
+    reduced_acb_config,
+    run_workload,
+)
+from repro.harness.reporting import format_table, geomean, pct, per_category
+from repro.harness import experiments
+
+__all__ = [
+    "RunResult",
+    "SCHEME_FACTORIES",
+    "compare_configs",
+    "default_measure",
+    "default_warmup",
+    "reduced_acb_config",
+    "run_workload",
+    "format_table",
+    "geomean",
+    "pct",
+    "per_category",
+    "experiments",
+]

@@ -1,0 +1,521 @@
+"""Per-figure/table experiment drivers (the paper's evaluation section).
+
+Each function regenerates the data behind one figure or table of the paper
+and returns a structured dict; the ``benchmarks/`` tree wraps them in
+pytest-benchmark targets and prints the same rows/series the paper reports.
+EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.acb import AcbScheme, storage_report, PAPER_TOTAL_BYTES
+from repro.core import Core, SKYLAKE_LIKE
+from repro.harness.reporting import geomean, per_category
+from repro.harness.runner import (
+    compare_configs,
+    reduced_acb_config,
+    run_workload,
+)
+from repro.program.cfg import find_reconvergence
+from repro.workloads import REPRESENTATIVE, load_suite, suite_specs
+from repro.workloads.suite import categories as suite_categories
+
+
+def experiment_workloads(subset: Optional[Sequence[str]] = None) -> List[str]:
+    """Workload selection: the representative subset by default, the full
+    70-workload suite with ``REPRO_SUITE=full``."""
+    if subset is not None:
+        return list(subset)
+    if os.environ.get("REPRO_SUITE", "").lower() == "full":
+        return list(suite_specs())
+    return list(REPRESENTATIVE)
+
+
+def _speedups(results, config: str, base: str = "baseline") -> Dict[str, float]:
+    return {
+        name: rs[base].stats.cycles / rs[config].stats.cycles
+        for name, rs in results.items()
+    }
+
+
+# ======================================================================
+# Figure 1 — perfect branch prediction vs core scaling
+# ======================================================================
+def fig1_scaling_potential(
+    names: Optional[Sequence[str]] = None, scales: Sequence[int] = (1, 2, 3)
+) -> Dict:
+    """Speedup of an oracle predictor over TAGE at growing OOO scale."""
+    names = experiment_workloads(names)
+    series = {}
+    for scale in scales:
+        results = compare_configs(names, ["baseline", "oracle-bp"], core_scale=scale)
+        speedups = _speedups(results, "oracle-bp")
+        series[scale] = {
+            "per_workload": speedups,
+            "geomean": geomean(speedups.values()),
+        }
+    return {"scales": list(scales), "series": series}
+
+
+# ======================================================================
+# Section II — misprediction characterization
+# ======================================================================
+def sec2_characterization(names: Optional[Sequence[str]] = None) -> Dict:
+    """Top-PC coverage and convergence-type breakdown of mispredictions."""
+    names = experiment_workloads(names)
+    coverage_64 = []
+    buckets = {"convergent": 0, "loop": 0, "non_convergent": 0}
+    for name in names:
+        (workload,) = load_suite([name])
+        core = Core(workload, SKYLAKE_LIKE)
+        stats = core.run_window(2_000, 14_000)
+        per_pc = sorted(
+            ((s.mispredicted, pc) for pc, s in stats.per_branch.items()), reverse=True
+        )
+        total = sum(m for m, _ in per_pc)
+        if not total:
+            continue
+        top = sum(m for m, _ in per_pc[:64])
+        coverage_64.append(top / total)
+        for mispred, pc in per_pc:
+            instr = workload.program[pc]
+            if not instr.is_forward_branch:
+                buckets["loop"] += mispred
+            elif find_reconvergence(workload.program, pc, 64) is not None:
+                buckets["convergent"] += mispred
+            else:
+                buckets["non_convergent"] += mispred
+    total = sum(buckets.values()) or 1
+    return {
+        "avg_top64_coverage": sum(coverage_64) / max(1, len(coverage_64)),
+        "share": {k: v / total for k, v in buckets.items()},
+        "counts": buckets,
+    }
+
+
+# ======================================================================
+# Equation 1 — predication profitability model
+# ======================================================================
+def eq1_profitability(
+    alloc_width: int = 4, mispred_penalty: int = 20, p_taken: float = 0.5
+) -> Dict:
+    """Analytic break-even body sizes from Equation 1.
+
+    Predication is profitable when
+    ``((1-p)*T + p*N) / alloc_width <= mispred_rate * mispred_penalty``.
+    For a balanced hammock this reduces to the paper's worked example:
+    at a 10% misprediction rate the combined body must stay under 16
+    instructions; a 32-instruction body needs more than 20%.
+    """
+    rows = []
+    for rate in (0.05, 0.10, 0.20, 0.30):
+        max_body = 2 * alloc_width * rate * mispred_penalty / 1.0
+        rows.append({"mispred_rate": rate, "break_even_body": max_body})
+
+    def required_rate(body: int) -> float:
+        return (body / 2) / (alloc_width * mispred_penalty)
+
+    return {
+        "rows": rows,
+        "example_body16_rate": required_rate(16),
+        "example_body32_rate": required_rate(32),
+        "required_rate": required_rate,
+    }
+
+
+# ======================================================================
+# Figure 6 — ACB performance summary
+# ======================================================================
+def fig6_acb_summary(names: Optional[Sequence[str]] = None) -> Dict:
+    names = experiment_workloads(names)
+    results = compare_configs(names, ["baseline", "acb"])
+    speedups = _speedups(results, "acb")
+    cats = {n: results[n]["acb"].category for n in results}
+    base_flushes = sum(r["baseline"].stats.flushes for r in results.values())
+    acb_flushes = sum(r["acb"].stats.flushes for r in results.values())
+    return {
+        "per_workload": speedups,
+        "per_category": per_category(speedups, cats),
+        "geomean": geomean(speedups.values()),
+        "flush_reduction": 1 - acb_flushes / max(1, base_flushes),
+        "results": results,
+    }
+
+
+# ======================================================================
+# Figure 7 — mis-speculation vs performance correlation
+# ======================================================================
+def fig7_correlation(names: Optional[Sequence[str]] = None) -> Dict:
+    names = experiment_workloads(names)
+    results = compare_configs(names, ["baseline", "acb"])
+    rows = []
+    for name, rs in sorted(
+        results.items(),
+        key=lambda kv: kv[1]["baseline"].stats.cycles / kv[1]["acb"].stats.cycles,
+    ):
+        base, acb = rs["baseline"].stats, rs["acb"].stats
+        rows.append(
+            {
+                "workload": name,
+                "tag": rs["acb"].paper_tag,
+                "perf_ratio": base.cycles / acb.cycles,
+                "misspec_ratio": acb.flushes / max(1, base.flushes),
+            }
+        )
+    return {"rows": rows}
+
+
+# ======================================================================
+# Figure 8 / Section V-B — ACB vs ACB-without-Dynamo vs DMP
+# ======================================================================
+def fig8_vs_dmp(names: Optional[Sequence[str]] = None) -> Dict:
+    names = experiment_workloads(names)
+    results = compare_configs(names, ["baseline", "acb", "acb-nodynamo", "dmp"])
+    out_rows = []
+    for name, rs in results.items():
+        base = rs["baseline"].stats.cycles
+        out_rows.append(
+            {
+                "workload": name,
+                "tag": rs["acb"].paper_tag,
+                "acb": base / rs["acb"].stats.cycles,
+                "acb_nodynamo": base / rs["acb-nodynamo"].stats.cycles,
+                "dmp": base / rs["dmp"].stats.cycles,
+            }
+        )
+    return {
+        "rows": out_rows,
+        "geomean": {
+            cfg: geomean(_speedups(results, cfg).values())
+            for cfg in ("acb", "acb-nodynamo", "dmp")
+        },
+        "worst": {
+            cfg: min(_speedups(results, cfg).values())
+            for cfg in ("acb", "acb-nodynamo", "dmp")
+        },
+    }
+
+
+# ======================================================================
+# Figure 9 — DMP vs DMP-PBH on categories D and E
+# ======================================================================
+def _tagged_names(tags: Iterable[str]) -> List[str]:
+    tags = set(tags)
+    return [n for n, spec in suite_specs().items() if spec.paper_tag in tags]
+
+
+def fig9_dmp_pbh(names: Optional[Sequence[str]] = None) -> Dict:
+    names = list(names) if names is not None else _tagged_names({"D", "E"})
+    results = compare_configs(names, ["baseline", "dmp", "dmp-pbh", "acb"])
+    rows = []
+    for name, rs in results.items():
+        base = rs["baseline"].stats
+        rows.append(
+            {
+                "workload": name,
+                "tag": rs["dmp"].paper_tag,
+                "dmp_perf": base.cycles / rs["dmp"].stats.cycles,
+                "dmp_misspec": rs["dmp"].stats.flushes / max(1, base.flushes),
+                "pbh_perf": base.cycles / rs["dmp-pbh"].stats.cycles,
+                "pbh_misspec": rs["dmp-pbh"].stats.flushes / max(1, base.flushes),
+                "acb_perf": base.cycles / rs["acb"].stats.cycles,
+            }
+        )
+    return {"rows": rows}
+
+
+# ======================================================================
+# Figure 10 — allocation stalls on category E
+# ======================================================================
+def fig10_alloc_stalls(names: Optional[Sequence[str]] = None) -> Dict:
+    names = list(names) if names is not None else _tagged_names({"E"})
+    results = compare_configs(names, ["baseline", "dmp-pbh", "acb"])
+    rows = []
+    for name, rs in results.items():
+        base = rs["baseline"].stats
+        rows.append(
+            {
+                "workload": name,
+                "base_stalls": base.alloc_stall_cycles / max(1, base.cycles),
+                "pbh_stalls": rs["dmp-pbh"].stats.alloc_stall_cycles
+                / max(1, rs["dmp-pbh"].stats.cycles),
+                "acb_stalls": rs["acb"].stats.alloc_stall_cycles
+                / max(1, rs["acb"].stats.cycles),
+                "pbh_perf": base.cycles / rs["dmp-pbh"].stats.cycles,
+            }
+        )
+    return {"rows": rows}
+
+
+# ======================================================================
+# Figure 11 — ACB vs DHP
+# ======================================================================
+def fig11_vs_dhp(names: Optional[Sequence[str]] = None) -> Dict:
+    names = experiment_workloads(names)
+    results = compare_configs(names, ["baseline", "acb", "dhp"])
+    rows = []
+    for name, rs in results.items():
+        base = rs["baseline"].stats.cycles
+        rows.append(
+            {
+                "workload": name,
+                "acb": base / rs["acb"].stats.cycles,
+                "dhp": base / rs["dhp"].stats.cycles,
+            }
+        )
+    return {
+        "rows": rows,
+        "geomean": {
+            "acb": geomean(r["acb"] for r in rows),
+            "dhp": geomean(r["dhp"] for r in rows),
+        },
+        "dhp_insensitive": sum(1 for r in rows if abs(r["dhp"] - 1) < 0.01),
+    }
+
+
+# ======================================================================
+# Tables I–III
+# ======================================================================
+def table1_storage() -> Dict:
+    scheme = AcbScheme(reduced_acb_config())
+    report = storage_report(scheme)
+    report["paper_total_bytes"] = PAPER_TOTAL_BYTES
+    return report
+
+
+def table2_core_params() -> Dict[str, str]:
+    return SKYLAKE_LIKE.table()
+
+
+def table3_workloads() -> Dict[str, List[str]]:
+    return suite_categories()
+
+
+# ======================================================================
+# Section V-D — core scaling
+# ======================================================================
+def sec5d_core_scaling(
+    names: Optional[Sequence[str]] = None, scales: Sequence[int] = (1, 2)
+) -> Dict:
+    """ACB's gain grows on a wider/deeper core (8.0% → 8.6% in the paper)."""
+    names = experiment_workloads(names)
+    gains = {}
+    for scale in scales:
+        results = compare_configs(names, ["baseline", "acb"], core_scale=scale)
+        gains[scale] = geomean(_speedups(results, "acb").values())
+    return {"gain_by_scale": gains}
+
+
+# ======================================================================
+# Section V-E — power proxies
+# ======================================================================
+def sec5e_power_proxies(names: Optional[Sequence[str]] = None) -> Dict:
+    """Flush reduction and total OOO-allocation reduction under ACB."""
+    names = experiment_workloads(names)
+    results = compare_configs(names, ["baseline", "acb"])
+    base_flush = sum(r["baseline"].stats.flushes for r in results.values())
+    acb_flush = sum(r["acb"].stats.flushes for r in results.values())
+    base_alloc = sum(r["baseline"].stats.allocated for r in results.values())
+    acb_alloc = sum(r["acb"].stats.allocated for r in results.values())
+    return {
+        "flush_reduction": 1 - acb_flush / max(1, base_flush),
+        "allocation_reduction": 1 - acb_alloc / max(1, base_alloc),
+    }
+
+
+# ======================================================================
+# Ablations (DESIGN.md §7)
+# ======================================================================
+def ablation_epoch_length(
+    name: str = "eembc", epochs: Sequence[int] = (400, 800, 1600, 3200)
+) -> Dict:
+    """Dynamo epoch-length sweep (paper: 8K–32K optimal at full scale)."""
+    from dataclasses import replace
+
+    base = run_workload(name, "baseline")
+    rows = {}
+    for epoch in epochs:
+        cfg = replace(reduced_acb_config(), epoch_length=epoch)
+        res = run_workload(name, "acb", acb_config=cfg)
+        rows[epoch] = base.stats.cycles / res.stats.cycles
+    return {"workload": name, "speedup_by_epoch": rows}
+
+
+def ablation_cycle_factor(
+    name: str = "eembc", factors: Sequence[float] = (0.03125, 0.125, 0.5)
+) -> Dict:
+    """Dynamo cycle-change-factor sweep (paper optimum: 1/8)."""
+    from dataclasses import replace
+
+    base = run_workload(name, "baseline")
+    rows = {}
+    for factor in factors:
+        cfg = replace(reduced_acb_config(), cycle_change_factor=factor)
+        res = run_workload(name, "acb", acb_config=cfg)
+        rows[factor] = base.stats.cycles / res.stats.cycles
+    return {"workload": name, "speedup_by_factor": rows}
+
+
+def ablation_learning_limit(
+    name: str = "gcc", limits: Sequence[int] = (10, 20, 40, 80)
+) -> Dict:
+    """Convergence-scan limit N sweep (paper: N = 40 optimal)."""
+    from dataclasses import replace
+
+    base = run_workload(name, "baseline")
+    rows = {}
+    for limit in limits:
+        cfg = replace(reduced_acb_config(), learning_limit=limit)
+        res = run_workload(name, "acb", acb_config=cfg)
+        rows[limit] = base.stats.cycles / res.stats.cycles
+    return {"workload": name, "speedup_by_limit": rows}
+
+
+def ablation_acb_table_size(
+    name: str = "sjeng", sets: Sequence[int] = (4, 16, 64, 128)
+) -> Dict:
+    """ACB-table size sweep (paper: 32 → 256 entries ≈ flat)."""
+    from dataclasses import replace
+
+    base = run_workload(name, "baseline")
+    rows = {}
+    for nsets in sets:
+        cfg = replace(reduced_acb_config(), acb_sets=nsets)
+        res = run_workload(name, "acb", acb_config=cfg)
+        rows[nsets * 2] = base.stats.cycles / res.stats.cycles
+    return {"workload": name, "speedup_by_entries": rows}
+
+
+def ablation_select_uops(names: Optional[Sequence[str]] = None) -> Dict:
+    """ACB's optional select-uop variant (paper: only ~+0.2%)."""
+    names = experiment_workloads(names)
+    results = compare_configs(names, ["baseline", "acb", "acb-select"])
+    return {
+        "acb": geomean(_speedups(results, "acb").values()),
+        "acb_select": geomean(_speedups(results, "acb-select").values()),
+    }
+
+
+def ablation_throttle(names: Optional[Sequence[str]] = None) -> Dict:
+    """Dynamo vs the rejected stall-count throttle (Section V-B).
+
+    The stall heuristic throttles any predication whose body waits in the
+    issue queue — which is *every* predication, including hugely profitable
+    ones like the lammps proxy.  Dynamo, measuring delivered cycles, keeps
+    those and kills only the genuinely harmful candidates.
+    """
+    names = list(names) if names is not None else [
+        "lammps", "povray", "eembc", "omnetpp", "gcc",
+    ]
+    results = compare_configs(names, ["baseline", "acb", "acb-stalls"])
+    rows = {
+        name: {
+            "dynamo": rs["baseline"].stats.cycles / rs["acb"].stats.cycles,
+            "stalls": rs["baseline"].stats.cycles / rs["acb-stalls"].stats.cycles,
+        }
+        for name, rs in results.items()
+    }
+    return {
+        "rows": rows,
+        "geomean": {
+            "dynamo": geomean(r["dynamo"] for r in rows.values()),
+            "stalls": geomean(r["stalls"] for r in rows.values()),
+        },
+    }
+
+
+def extension_multi_reconv(names: Optional[Sequence[str]] = None) -> Dict:
+    """The paper's proposed B1 enhancement: learn a farther reconvergence
+    point after divergences instead of abandoning the branch."""
+    names = list(names) if names is not None else _tagged_names({"B1"})
+    results = compare_configs(
+        names, ["baseline", "acb", "acb-multireconv", "dmp"]
+    )
+    rows = {}
+    for name, rs in results.items():
+        base = rs["baseline"].stats.cycles
+        rows[name] = {
+            "acb": base / rs["acb"].stats.cycles,
+            "acb_multireconv": base / rs["acb-multireconv"].stats.cycles,
+            "dmp": base / rs["dmp"].stats.cycles,
+            "acb_divergences": rs["acb"].stats.divergence_flushes,
+            "multi_divergences": rs["acb-multireconv"].stats.divergence_flushes,
+        }
+    return {"rows": rows}
+
+
+def predictor_sensitivity(
+    names: Optional[Sequence[str]] = None,
+    predictors: Sequence[str] = ("bimodal", "gshare", "perceptron", "tage"),
+) -> Dict:
+    """ACB on top of different baseline predictors.
+
+    The paper argues ACB composes with any direction predictor (it is even
+    applicable on top of SLB); here the gain is measured over each
+    predictor's own baseline.
+    """
+    names = experiment_workloads(names)
+    out = {}
+    for predictor in predictors:
+        speedups = []
+        mpki = []
+        for name in names:
+            base = run_workload(name, "baseline", predictor=predictor)
+            acb = run_workload(name, "acb", predictor=predictor)
+            speedups.append(base.stats.cycles / acb.stats.cycles)
+            mpki.append(base.stats.mpki)
+        out[predictor] = {
+            "acb_gain": geomean(speedups),
+            "baseline_mpki": sum(mpki) / len(mpki),
+        }
+    return out
+
+
+def related_work_ordering(names: Optional[Sequence[str]] = None) -> Dict:
+    """ACB vs the full prior-work lineage: Wish Branches, DHP, DMP.
+
+    The paper's Section VI ordering — DMP improved on Wish Branches and
+    DHP; ACB improves on DMP by not needing compiler/ISA support and by
+    monitoring delivered performance — measured on a mixed subset that
+    contains both friendly and predication-hostile workloads.
+    """
+    names = list(names) if names is not None else [
+        "lammps", "hmmer", "gobmk", "povray", "eembc", "omnetpp", "gcc",
+        "chrome",
+    ]
+    configs = ["baseline", "acb", "dmp", "dhp", "wish"]
+    results = compare_configs(names, configs)
+    per_workload = {
+        name: {
+            cfg: rs["baseline"].stats.cycles / rs[cfg].stats.cycles
+            for cfg in configs[1:]
+        }
+        for name, rs in results.items()
+    }
+    return {
+        "per_workload": per_workload,
+        "geomean": {
+            cfg: geomean(r[cfg] for r in per_workload.values())
+            for cfg in configs[1:]
+        },
+    }
+
+
+def ablation_rob_proximity(names: Optional[Sequence[str]] = None) -> Dict:
+    """Frequency filter alone vs with the ROB-proximity refinement."""
+    from dataclasses import replace
+
+    names = experiment_workloads(names)
+    rows = {}
+    for flag in (False, True):
+        cfg = replace(reduced_acb_config(), use_rob_proximity=flag)
+        speedups = []
+        for name in names:
+            base = run_workload(name, "baseline")
+            res = run_workload(name, "acb", acb_config=cfg)
+            speedups.append(base.stats.cycles / res.stats.cycles)
+        rows["with_proximity" if flag else "frequency_only"] = geomean(speedups)
+    return rows

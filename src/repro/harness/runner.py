@@ -1,0 +1,155 @@
+"""Single-run driver: workload × configuration → statistics.
+
+Every experiment in the paper reduces to comparing named *configurations*
+over workloads.  A configuration bundles a predication scheme, a branch
+predictor, and a core scale factor.  Runs use trace-slice methodology: a
+warm-up window (caches, predictor, ACB tables, Dynamo) followed by a fresh
+measurement window.
+
+Window sizes default to the reduced scale of DESIGN.md §6 and can be
+overridden through the ``REPRO_WARMUP`` / ``REPRO_MEASURE`` environment
+variables (or per call).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Union
+
+from repro.acb import AcbConfig, AcbScheme
+from repro.baselines import DhpScheme, DmpPbhScheme, DmpScheme, WishScheme
+from repro.core import Core, CoreConfig, SKYLAKE_LIKE, scaled
+from repro.core.predication import PredicationScheme
+from repro.core.stats import SimStats
+from repro.workloads import Workload, load_suite
+
+
+def default_warmup() -> int:
+    return int(os.environ.get("REPRO_WARMUP", 16_000))
+
+
+def default_measure() -> int:
+    return int(os.environ.get("REPRO_MEASURE", 12_000))
+
+
+def reduced_acb_config() -> AcbConfig:
+    """The reduced-trace ACB configuration used throughout the harness."""
+    return AcbConfig().reduced(10)
+
+
+#: Configuration name → scheme factory (None = no predication).
+SCHEME_FACTORIES: Dict[str, Callable[[], Optional[PredicationScheme]]] = {
+    "baseline": lambda: None,
+    "oracle-bp": lambda: None,   # perfect branch prediction (predictor swap)
+    "acb": lambda: AcbScheme(reduced_acb_config()),
+    "acb-nodynamo": lambda: AcbScheme(
+        replace(reduced_acb_config(), dynamo_enabled=False)
+    ),
+    "acb-select": lambda: AcbScheme(replace(reduced_acb_config(), select_uops=True)),
+    "acb-pbh": lambda: AcbScheme(replace(reduced_acb_config(), oracle_history=True)),
+    "acb-stalls": lambda: AcbScheme(replace(reduced_acb_config(), throttle="stalls")),
+    "acb-multireconv": lambda: AcbScheme(
+        replace(reduced_acb_config(), multi_reconv=True)
+    ),
+    "dmp": lambda: DmpScheme(),
+    "dmp-pbh": lambda: DmpPbhScheme(),
+    "dhp": lambda: DhpScheme(),
+    "wish": lambda: WishScheme(),
+}
+
+
+@dataclass
+class RunResult:
+    """Stats plus identification for one simulation run."""
+
+    workload: str
+    category: str
+    paper_tag: str
+    config: str
+    stats: SimStats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+#: memo of completed runs — simulations are deterministic, so experiments
+#: sharing a (workload, config, scale, window) tuple reuse results.  Keyed
+#: only for suite workloads addressed by name with default core/ACB config.
+_MEMO: Dict[tuple, "RunResult"] = {}
+
+
+def clear_memo() -> None:
+    _MEMO.clear()
+
+
+def run_workload(
+    workload: Union[str, Workload],
+    config: str = "baseline",
+    core_config: Optional[CoreConfig] = None,
+    core_scale: int = 1,
+    warmup: Optional[int] = None,
+    measure: Optional[int] = None,
+    acb_config: Optional[AcbConfig] = None,
+    predictor: Optional[str] = None,
+) -> RunResult:
+    """Run one workload under one named configuration."""
+    memo_key = None
+    if isinstance(workload, str) and core_config is None and acb_config is None:
+        memo_key = (
+            workload,
+            config,
+            core_scale,
+            predictor,
+            warmup if warmup is not None else default_warmup(),
+            measure if measure is not None else default_measure(),
+        )
+        if memo_key in _MEMO:
+            return _MEMO[memo_key]
+    if isinstance(workload, str):
+        (workload_obj,) = load_suite([workload])
+    else:
+        workload_obj = workload
+    if config not in SCHEME_FACTORIES:
+        raise ValueError(f"unknown config {config!r}; choose from {sorted(SCHEME_FACTORIES)}")
+
+    if acb_config is not None and config.startswith("acb"):
+        scheme: Optional[PredicationScheme] = AcbScheme(acb_config)
+    else:
+        scheme = SCHEME_FACTORIES[config]()
+    cfg = core_config if core_config is not None else scaled(core_scale, SKYLAKE_LIKE)
+    if config == "oracle-bp":
+        predictor = "oracle"
+    core = Core(workload_obj, cfg, scheme=scheme, predictor=predictor)
+    stats = core.run_window(
+        warmup if warmup is not None else default_warmup(),
+        measure if measure is not None else default_measure(),
+    )
+    result = RunResult(
+        workload=workload_obj.name,
+        category=workload_obj.category,
+        paper_tag=workload_obj.paper_tag,
+        config=config,
+        stats=stats,
+    )
+    if memo_key is not None:
+        _MEMO[memo_key] = result
+    return result
+
+
+def compare_configs(
+    names,
+    configs,
+    **kwargs,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Run every workload in *names* under every configuration.
+
+    Returns ``{workload: {config: RunResult}}``.
+    """
+    out: Dict[str, Dict[str, RunResult]] = {}
+    for name in names:
+        out[name] = {}
+        for config in configs:
+            out[name][config] = run_workload(name, config, **kwargs)
+    return out

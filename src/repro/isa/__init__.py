@@ -1,0 +1,50 @@
+"""Instruction-set model: micro-op classes, registers, static and dynamic
+instructions.
+
+This is the lowest substrate layer; everything else (programs, the OOO
+core, ACB) is built on top of it.
+"""
+
+from repro.isa.opcodes import UopClass, latency_of, port_group_of
+from repro.isa.registers import ALL_REGS, FLAGS, NUM_GPR, NUM_LOGICAL, reg_name
+from repro.isa.instruction import Instruction
+from repro.isa.dyninst import (
+    DynInst,
+    ROLE_BODY,
+    ROLE_BRANCH,
+    ROLE_JUMPER,
+    ROLE_NONE,
+    ROLE_RECONV,
+    ROLE_SELECT,
+    ST_ALLOCATED,
+    ST_DONE,
+    ST_FETCHED,
+    ST_ISSUED,
+    ST_RETIRED,
+    ST_SQUASHED,
+)
+
+__all__ = [
+    "UopClass",
+    "latency_of",
+    "port_group_of",
+    "ALL_REGS",
+    "FLAGS",
+    "NUM_GPR",
+    "NUM_LOGICAL",
+    "reg_name",
+    "Instruction",
+    "DynInst",
+    "ROLE_NONE",
+    "ROLE_BRANCH",
+    "ROLE_BODY",
+    "ROLE_JUMPER",
+    "ROLE_RECONV",
+    "ROLE_SELECT",
+    "ST_FETCHED",
+    "ST_ALLOCATED",
+    "ST_ISSUED",
+    "ST_DONE",
+    "ST_RETIRED",
+    "ST_SQUASHED",
+]

@@ -1,0 +1,149 @@
+"""Static instruction representation.
+
+A :class:`Instruction` is one slot of a :class:`repro.program.Program`.  PCs
+are small integers indexing the program's instruction list; the fall-through
+successor of any non-taken control transfer is ``pc + 1``.  This "word
+addressed" encoding keeps the fetch and convergence-detection logic exact
+while staying cheap to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import UopClass
+from repro.isa import registers
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Parameters
+    ----------
+    pc:
+        Index of this instruction in its program.
+    uop:
+        Execution class.
+    dst:
+        Logical destination register, or ``None`` for instructions that do
+        not produce a register value (stores, branches, nops).
+    srcs:
+        Logical source registers.
+    target:
+        Branch target PC (branches only).
+    cond:
+        ``True`` for conditional branches; unconditional branches always
+        jump to ``target``.
+    behavior:
+        Key into the workload's behaviour registry.  For conditional
+        branches it names the outcome process; for loads/stores it names the
+        address process.  ``None`` selects the workload default.
+    label:
+        Optional human-readable annotation used in disassembly and tests.
+    """
+
+    pc: int
+    uop: UopClass
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    target: Optional[int] = None
+    cond: bool = False
+    behavior: Optional[str] = None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"negative pc: {self.pc}")
+        if self.dst is not None and not registers.is_valid(self.dst):
+            raise ValueError(f"invalid destination register: {self.dst}")
+        for src in self.srcs:
+            if not registers.is_valid(src):
+                raise ValueError(f"invalid source register: {src}")
+        if self.is_branch:
+            if self.target is None:
+                raise ValueError(f"branch at pc={self.pc} lacks a target")
+            if self.target < 0:
+                raise ValueError(f"branch at pc={self.pc} targets {self.target}")
+        elif self.cond:
+            raise ValueError(f"non-branch at pc={self.pc} cannot be conditional")
+        elif self.target is not None:
+            raise ValueError(f"non-branch at pc={self.pc} cannot have a target")
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_branch(self) -> bool:
+        """``True`` for any control-transfer instruction."""
+        return self.uop is UopClass.BRANCH
+
+    @property
+    def is_cond_branch(self) -> bool:
+        """``True`` for conditional branches (the ACB candidates)."""
+        return self.is_branch and self.cond
+
+    @property
+    def is_mem(self) -> bool:
+        """``True`` for loads and stores."""
+        return self.uop in (UopClass.LOAD, UopClass.STORE)
+
+    @property
+    def is_load(self) -> bool:
+        return self.uop is UopClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.uop is UopClass.STORE
+
+    @property
+    def writes_register(self) -> bool:
+        """``True`` when the instruction produces a register or flags value.
+
+        The paper's register-transparency scheme (Section III-C2) only needs
+        to track such producers; stores and branches on the predicated-false
+        path simply release their resources.
+        """
+        return self.dst is not None
+
+    @property
+    def fallthrough(self) -> int:
+        """PC of the sequential successor."""
+        return self.pc + 1
+
+    def successors(self) -> Tuple[int, ...]:
+        """Possible next PCs (used by CFG construction)."""
+        if self.is_cond_branch:
+            assert self.target is not None
+            return (self.fallthrough, self.target)
+        if self.is_branch:
+            assert self.target is not None
+            return (self.target,)
+        return (self.fallthrough,)
+
+    @property
+    def is_forward_branch(self) -> bool:
+        """``True`` when the branch target lies after the branch itself.
+
+        The convergence-learning algorithm (Section III-B) distinguishes
+        forward from backward branches and rewrites the latter using the
+        commutative transform of Figure 4.
+        """
+        if not self.is_branch:
+            return False
+        assert self.target is not None
+        return self.target > self.pc
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        core = f"{self.pc:5d}: {self.uop.name}"
+        if self.dst is not None:
+            core += f" {registers.reg_name(self.dst)}"
+        if self.srcs:
+            core += " <- " + ",".join(registers.reg_name(s) for s in self.srcs)
+        if self.is_branch:
+            kind = "cond" if self.cond else "jmp"
+            core += f" [{kind} -> {self.target}]"
+        if self.label:
+            core += f"  ; {self.label}"
+        return core

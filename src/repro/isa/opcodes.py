@@ -1,0 +1,61 @@
+"""Micro-operation classes and their execution characteristics.
+
+The simulator models a generic x86-like core at the micro-op level.  Every
+static instruction carries a :class:`UopClass` which determines its execution
+latency and which execution-port group it competes for.  Latencies follow the
+Skylake-era numbers used by the paper's Table II configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class UopClass(enum.IntEnum):
+    """Execution class of a micro-op."""
+
+    ALU = 0       # simple integer: add, sub, logic, compare, move
+    MUL = 1       # integer multiply
+    DIV = 2       # integer divide
+    FP = 3        # floating point arithmetic
+    LOAD = 4      # memory read
+    STORE = 5     # memory write (address generation + data)
+    BRANCH = 6    # conditional or unconditional control transfer
+    NOP = 7       # no architectural effect
+
+
+#: Base execution latency (cycles) per class.  LOAD latency here is the
+#: address-generation component; the cache hierarchy adds access latency.
+LATENCY = {
+    UopClass.ALU: 1,
+    UopClass.MUL: 3,
+    UopClass.DIV: 18,
+    UopClass.FP: 4,
+    UopClass.LOAD: 1,
+    UopClass.STORE: 1,
+    UopClass.BRANCH: 1,
+    UopClass.NOP: 1,
+}
+
+#: Port group each class issues to.  Groups are sized in
+#: :class:`repro.core.config.CoreConfig.ports`.
+PORT_GROUP = {
+    UopClass.ALU: "alu",
+    UopClass.MUL: "alu",
+    UopClass.DIV: "alu",
+    UopClass.FP: "alu",
+    UopClass.LOAD: "load",
+    UopClass.STORE: "store",
+    UopClass.BRANCH: "alu",
+    UopClass.NOP: "alu",
+}
+
+
+def latency_of(uop: UopClass) -> int:
+    """Return the base execution latency of *uop* in cycles."""
+    return LATENCY[uop]
+
+
+def port_group_of(uop: UopClass) -> str:
+    """Return the name of the execution-port group *uop* issues to."""
+    return PORT_GROUP[uop]

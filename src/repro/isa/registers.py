@@ -1,0 +1,37 @@
+"""Logical register file definition.
+
+The simulated ISA has 16 integer registers (``R0``–``R15``) plus an
+architectural flags register (``FLAGS``) written by compares and consumed by
+conditional branches — mirroring the x86 pattern the paper's register
+transparency mechanism (Section III-C2) has to handle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Number of general-purpose logical registers.
+NUM_GPR = 16
+
+#: Register number used for the flags register.
+FLAGS = NUM_GPR
+
+#: Total number of logical registers the RAT tracks (GPRs + flags).
+NUM_LOGICAL = NUM_GPR + 1
+
+#: All register indices, useful for iteration and property-based tests.
+ALL_REGS: Tuple[int, ...] = tuple(range(NUM_LOGICAL))
+
+
+def reg_name(reg: int) -> str:
+    """Return a human-readable name for logical register *reg*."""
+    if reg == FLAGS:
+        return "FLAGS"
+    if 0 <= reg < NUM_GPR:
+        return f"R{reg}"
+    raise ValueError(f"not a logical register: {reg!r}")
+
+
+def is_valid(reg: int) -> bool:
+    """Return ``True`` when *reg* names a logical register."""
+    return 0 <= reg < NUM_LOGICAL

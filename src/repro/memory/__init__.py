@@ -1,0 +1,6 @@
+"""Cache/memory substrate."""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+__all__ = ["Cache", "MemoryConfig", "MemoryHierarchy"]

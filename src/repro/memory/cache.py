@@ -1,0 +1,64 @@
+"""Set-associative cache with LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Cache:
+    """A single cache level tracking presence only (no data).
+
+    The timing model needs hit/miss outcomes, not contents; lines are
+    identified by address >> line_shift.
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64, name: str = ""):
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        sets = size_bytes // (ways * line_bytes)
+        if sets < 1 or sets & (sets - 1):
+            raise ValueError(
+                f"cache geometry invalid: {size_bytes}B / {ways}w / {line_bytes}B line"
+            )
+        self.name = name or f"{size_bytes // 1024}KB"
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.line_shift = line_bytes.bit_length() - 1
+        self.num_sets = sets
+        self._sets = [OrderedDict() for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int):
+        line = addr >> self.line_shift
+        return line, self._sets[line & (self.num_sets - 1)]
+
+    def probe(self, addr: int) -> bool:
+        """Hit test without LRU side effects (for tests/analysis)."""
+        line, cset = self._locate(addr)
+        return line in cset
+
+    def access(self, addr: int) -> bool:
+        """Look up *addr*; returns hit and updates LRU. Misses do not fill."""
+        line, cset = self._locate(addr)
+        if line in cset:
+            cset.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> None:
+        """Install the line containing *addr*, evicting LRU if needed."""
+        line, cset = self._locate(addr)
+        if line in cset:
+            cset.move_to_end(line)
+            return
+        if len(cset) >= self.ways:
+            cset.popitem(last=False)
+        cset[line] = True
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,72 @@
+"""Three-level inclusive cache hierarchy with a flat DRAM latency.
+
+Latency-only model: each data access walks L1D → L2 → LLC → DRAM, returns
+the load-to-use latency of the first hit, and fills all levels above it
+(inclusive).  Bandwidth and MSHR contention are not modeled — the paper's
+trade-offs (Eq. 1, the Fig. 2c critical-load effect) are latency phenomena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.memory.cache import Cache
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Geometry and latencies, Table II defaults (Skylake-like)."""
+
+    l1_size: int = 32 * 1024
+    l1_ways: int = 8
+    l1_latency: int = 4
+    l2_size: int = 256 * 1024
+    l2_ways: int = 4
+    l2_latency: int = 14
+    llc_size: int = 2 * 1024 * 1024
+    llc_ways: int = 16
+    llc_latency: int = 44
+    dram_latency: int = 220
+    line_bytes: int = 64
+
+
+class MemoryHierarchy:
+    """L1D + L2 + LLC + DRAM latency model."""
+
+    def __init__(self, config: MemoryConfig = MemoryConfig()):
+        self.config = config
+        self.l1 = Cache(config.l1_size, config.l1_ways, config.line_bytes, "L1D")
+        self.l2 = Cache(config.l2_size, config.l2_ways, config.line_bytes, "L2")
+        self.llc = Cache(config.llc_size, config.llc_ways, config.line_bytes, "LLC")
+        self._levels: List[Tuple[Cache, int]] = [
+            (self.l1, config.l1_latency),
+            (self.l2, config.l2_latency),
+            (self.llc, config.llc_latency),
+        ]
+        self.dram_accesses = 0
+
+    def load(self, addr: int) -> int:
+        """Access latency in cycles for a load of *addr*; fills on miss."""
+        missed: List[Cache] = []
+        for cache, latency in self._levels:
+            if cache.access(addr):
+                for above in missed:
+                    above.fill(addr)
+                return latency
+            missed.append(cache)
+        self.dram_accesses += 1
+        for cache in missed:
+            cache.fill(addr)
+        return self.config.dram_latency
+
+    def store(self, addr: int) -> None:
+        """Commit a store: write-allocate into all levels (no latency cost —
+        stores complete post-retirement through the store buffer)."""
+        for cache, _ in self._levels:
+            if not cache.access(addr):
+                cache.fill(addr)
+
+    def is_llc_miss(self, addr: int) -> bool:
+        """Non-destructive probe: would *addr* go to DRAM right now?"""
+        return not any(cache.probe(addr) for cache, _ in self._levels)

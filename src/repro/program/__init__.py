@@ -1,0 +1,21 @@
+"""Static program representation, a builder DSL, and CFG analysis."""
+
+from repro.program.program import Program
+from repro.program.builder import ProgramBuilder
+from repro.program.cfg import (
+    HammockInfo,
+    classify_hammock,
+    find_guaranteed_reconvergence,
+    find_reconvergence,
+    reachable_distances,
+)
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "HammockInfo",
+    "classify_hammock",
+    "find_guaranteed_reconvergence",
+    "find_reconvergence",
+    "reachable_distances",
+]

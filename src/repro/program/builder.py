@@ -1,0 +1,162 @@
+"""A small assembly-like DSL for constructing programs.
+
+Workload generators use :class:`ProgramBuilder` to emit synthetic kernels.
+Forward branch targets are expressed as labels and patched when
+:meth:`ProgramBuilder.build` runs, which keeps generator code readable::
+
+    b = ProgramBuilder("demo")
+    b.label("loop")
+    b.alu(dst=1, srcs=(1,))
+    b.cond_branch("skip", behavior="h2p", srcs=(1,))
+    b.alu(dst=2, srcs=(1,))        # IF body
+    b.label("skip")
+    b.jump("loop")
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import FLAGS
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import UopClass
+from repro.program.program import Program
+
+
+@dataclass
+class _Pending:
+    """An instruction whose branch target may still be a label."""
+
+    uop: UopClass
+    dst: Optional[int]
+    srcs: Tuple[int, ...]
+    target_label: Optional[str]
+    cond: bool
+    behavior: Optional[str]
+    label: str
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`~repro.program.Program`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._pending: List[_Pending] = []
+        self._labels: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Label handling
+    # ------------------------------------------------------------------
+    @property
+    def next_pc(self) -> int:
+        """PC the next emitted instruction will receive."""
+        return len(self._pending)
+
+    def label(self, name: str) -> int:
+        """Bind *name* to the next PC; returns that PC."""
+        if name in self._labels:
+            raise ValueError(f"label defined twice: {name!r}")
+        self._labels[name] = self.next_pc
+        return self.next_pc
+
+    # ------------------------------------------------------------------
+    # Instruction emitters
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        uop: UopClass,
+        dst: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        target_label: Optional[str] = None,
+        cond: bool = False,
+        behavior: Optional[str] = None,
+        note: str = "",
+    ) -> int:
+        pc = self.next_pc
+        self._pending.append(
+            _Pending(uop, dst, tuple(srcs), target_label, cond, behavior, note)
+        )
+        return pc
+
+    def alu(self, dst: int, srcs: Tuple[int, ...] = (), note: str = "") -> int:
+        return self._emit(UopClass.ALU, dst=dst, srcs=srcs, note=note)
+
+    def mul(self, dst: int, srcs: Tuple[int, ...] = (), note: str = "") -> int:
+        return self._emit(UopClass.MUL, dst=dst, srcs=srcs, note=note)
+
+    def div(self, dst: int, srcs: Tuple[int, ...] = (), note: str = "") -> int:
+        return self._emit(UopClass.DIV, dst=dst, srcs=srcs, note=note)
+
+    def fp(self, dst: int, srcs: Tuple[int, ...] = (), note: str = "") -> int:
+        return self._emit(UopClass.FP, dst=dst, srcs=srcs, note=note)
+
+    def nop(self, note: str = "") -> int:
+        return self._emit(UopClass.NOP, note=note)
+
+    def load(
+        self,
+        dst: int,
+        srcs: Tuple[int, ...] = (),
+        behavior: Optional[str] = None,
+        note: str = "",
+    ) -> int:
+        return self._emit(UopClass.LOAD, dst=dst, srcs=srcs, behavior=behavior, note=note)
+
+    def store(
+        self,
+        srcs: Tuple[int, ...] = (),
+        behavior: Optional[str] = None,
+        note: str = "",
+    ) -> int:
+        return self._emit(UopClass.STORE, srcs=srcs, behavior=behavior, note=note)
+
+    def compare(self, srcs: Tuple[int, ...], note: str = "") -> int:
+        """ALU op writing FLAGS, the canonical branch-source producer."""
+        return self._emit(UopClass.ALU, dst=FLAGS, srcs=srcs, note=note)
+
+    def cond_branch(
+        self,
+        target: str,
+        behavior: str,
+        srcs: Tuple[int, ...] = (FLAGS,),
+        note: str = "",
+    ) -> int:
+        """Conditional branch whose outcome is produced by *behavior*."""
+        return self._emit(
+            UopClass.BRANCH,
+            srcs=srcs,
+            target_label=target,
+            cond=True,
+            behavior=behavior,
+            note=note,
+        )
+
+    def jump(self, target: str, note: str = "") -> int:
+        """Unconditional direct jump."""
+        return self._emit(UopClass.BRANCH, target_label=target, note=note)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels and produce the immutable program."""
+        instrs: List[Instruction] = []
+        for pc, p in enumerate(self._pending):
+            target = None
+            if p.target_label is not None:
+                if p.target_label not in self._labels:
+                    raise ValueError(f"undefined label: {p.target_label!r}")
+                target = self._labels[p.target_label]
+            instrs.append(
+                Instruction(
+                    pc=pc,
+                    uop=p.uop,
+                    dst=p.dst,
+                    srcs=p.srcs,
+                    target=target,
+                    cond=p.cond,
+                    behavior=p.behavior,
+                    label=p.label,
+                )
+            )
+        return Program(instrs, name=self.name)

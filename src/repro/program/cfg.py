@@ -1,0 +1,229 @@
+"""Control-flow-graph analysis over programs.
+
+This module plays the role of the *compiler* in the DMP and DHP baselines:
+it owns the static-analysis knowledge (reconvergence points, hammock shape)
+that those schemes obtain through compiler support and ISA hints.  ACB never
+uses it at run time — ACB learns convergence in hardware — but the test
+suite uses it as ground truth to validate ACB's learned reconvergence
+points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.program.program import Program
+
+
+def reachable_distances(
+    program: Program, start: int, max_dist: int, block_before: Optional[int] = None
+) -> Dict[int, int]:
+    """Breadth-first distances (in instructions) from *start*.
+
+    Both outcomes of conditional branches are followed.  Exploration stops
+    at *max_dist*, mirroring the bounded lookahead every realistic
+    convergence analysis uses.  With *block_before* set, edges jumping to a
+    PC at or before it are not followed — reconvergence analysis for a
+    branch must stay within the enclosing loop body rather than wrapping
+    around to the next iteration.
+    """
+    dist = {start: 0}
+    frontier = deque([start])
+    while frontier:
+        pc = frontier.popleft()
+        d = dist[pc]
+        if d >= max_dist:
+            continue
+        for nxt in program[pc].successors():
+            if block_before is not None and nxt <= block_before:
+                continue
+            if nxt < len(program) and nxt not in dist:
+                dist[nxt] = d + 1
+                frontier.append(nxt)
+    return dist
+
+
+def find_reconvergence(
+    program: Program, branch_pc: int, max_dist: int = 64
+) -> Optional[int]:
+    """Static reconvergence point of the conditional branch at *branch_pc*.
+
+    Returns the PC reachable from both the taken and not-taken successors
+    that minimizes the larger of the two path distances (ties broken toward
+    the smaller PC), or ``None`` if the paths do not meet within *max_dist*
+    instructions.  For the structured hammocks our generators emit this
+    coincides with the immediate post-dominator.
+    """
+    instr = program[branch_pc]
+    if not instr.is_cond_branch:
+        raise ValueError(f"pc={branch_pc} is not a conditional branch")
+    taken = reachable_distances(program, instr.target, max_dist, block_before=branch_pc)
+    fallthrough = reachable_distances(
+        program, instr.fallthrough, max_dist, block_before=branch_pc
+    )
+    common = set(taken) & set(fallthrough)
+    common.discard(branch_pc)
+    if not common:
+        return None
+    return min(common, key=lambda pc: (max(taken[pc], fallthrough[pc]), pc))
+
+
+def find_guaranteed_reconvergence(
+    program: Program, branch_pc: int, max_dist: int = 64
+) -> Optional[int]:
+    """Reconvergence point that *every* region path passes through.
+
+    This is the immediate-post-dominator-style point a profiling compiler
+    (DMP [7], [15]) computes: unlike :func:`find_reconvergence`, a candidate
+    is rejected if some path from either side can get *past* it without
+    touching it (e.g. the multi-exit shapes of Fig. 8 category B1).
+    Candidates are tried in order of increasing path distance.
+    """
+    instr = program[branch_pc]
+    if not instr.is_cond_branch:
+        raise ValueError(f"pc={branch_pc} is not a conditional branch")
+    taken = reachable_distances(program, instr.target, max_dist, block_before=branch_pc)
+    fallthrough = reachable_distances(
+        program, instr.fallthrough, max_dist, block_before=branch_pc
+    )
+    common = sorted(
+        (set(taken) & set(fallthrough)) - {branch_pc},
+        key=lambda pc: (max(taken[pc], fallthrough[pc]), pc),
+    )
+    for candidate in common:
+        if _all_paths_hit(program, instr.target, candidate, max_dist) and _all_paths_hit(
+            program, instr.fallthrough, candidate, max_dist
+        ):
+            return candidate
+    return None
+
+
+def _all_paths_hit(program: Program, start: int, candidate: int, max_dist: int) -> bool:
+    """True when every path from *start* reaches *candidate*.
+
+    *candidate* is absorbing.  A path taking a backward edge anywhere other
+    than into the candidate is treated as having escaped the region (it
+    wrapped around an enclosing loop), as is a path still running after
+    *max_dist* steps.  Loops nested strictly inside a hammock body are
+    therefore conservatively rejected — the same simplification DMP's
+    compiler applies when it refuses irregular regions.
+    """
+    if start == candidate:
+        return True
+    frontier = deque([(start, 0)])
+    seen = {start}
+    while frontier:
+        pc, d = frontier.popleft()
+        if d >= max_dist:
+            return False  # never reached the candidate within the window
+        for nxt in program[pc].successors():
+            if nxt == candidate:
+                continue
+            if nxt >= len(program) or nxt < pc:
+                return False  # fell off the program or wrapped a loop
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append((nxt, d + 1))
+    return True
+
+
+def _straightline_length(program: Program, start: int, stop: int) -> Optional[int]:
+    """Instruction count from *start* to *stop* along fall-through only.
+
+    Returns ``None`` if a branch (other than an unconditional jump landing
+    exactly on *stop*) interrupts the straight line, or if *stop* is never
+    reached within the program.
+    """
+    pc = start
+    count = 0
+    while pc != stop:
+        if pc >= len(program) or count > len(program):
+            return None
+        instr = program[pc]
+        if instr.is_branch:
+            if not instr.cond and instr.target == stop:
+                return count + 1
+            return None
+        pc += 1
+        count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class HammockInfo:
+    """Shape summary of a conditional branch's control-dependent region."""
+
+    branch_pc: int
+    reconvergence_pc: int
+    taken_len: int          # instructions on the taken side
+    not_taken_len: int      # instructions on the not-taken side
+    simple: bool            # both sides straight-line (DHP's requirement)
+    has_store: bool         # a store appears inside the region
+    if_else: bool           # region has two non-empty sides
+
+    @property
+    def body_size(self) -> int:
+        """T + N, the combined body size of Equation 1."""
+        return self.taken_len + self.not_taken_len
+
+
+def classify_hammock(
+    program: Program, branch_pc: int, max_dist: int = 64
+) -> Optional[HammockInfo]:
+    """Classify the hammock rooted at *branch_pc*, or ``None`` if the branch
+    does not reconverge within *max_dist*.
+
+    A hammock is *simple* when both paths run straight-line into the
+    reconvergence point — the only shape DHP can predicate.  Complex
+    convergent shapes (nested branches, Type-3 back-edges) still return a
+    :class:`HammockInfo` with ``simple=False`` and path lengths measured by
+    BFS distance.
+    """
+    reconv = find_reconvergence(program, branch_pc, max_dist)
+    if reconv is None:
+        return None
+    instr = program[branch_pc]
+
+    nt_straight = _straightline_length(program, instr.fallthrough, reconv)
+    tk_straight = _straightline_length(program, instr.target, reconv)
+    simple = nt_straight is not None and tk_straight is not None
+
+    taken = reachable_distances(program, instr.target, max_dist)
+    fallthrough = reachable_distances(program, instr.fallthrough, max_dist)
+    taken_len = tk_straight if tk_straight is not None else taken[reconv]
+    nt_len = nt_straight if nt_straight is not None else fallthrough[reconv]
+
+    region = _region_pcs(program, branch_pc, reconv, max_dist)
+    has_store = any(program[pc].is_store for pc in region)
+    return HammockInfo(
+        branch_pc=branch_pc,
+        reconvergence_pc=reconv,
+        taken_len=taken_len,
+        not_taken_len=nt_len,
+        simple=simple,
+        has_store=has_store,
+        if_else=taken_len > 0 and nt_len > 0,
+    )
+
+
+def _region_pcs(program: Program, branch_pc: int, reconv: int, max_dist: int) -> List[int]:
+    """PCs control-dependent on the branch (both paths, up to reconvergence)."""
+    instr = program[branch_pc]
+    pcs = set()
+    for start in (instr.target, instr.fallthrough):
+        frontier = deque([(start, 0)])
+        seen = {start}
+        while frontier:
+            pc, d = frontier.popleft()
+            if pc == reconv or d >= max_dist or pc >= len(program):
+                continue
+            pcs.add(pc)
+            for nxt in program[pc].successors():
+                if nxt <= branch_pc:
+                    continue  # stay within the enclosing loop body
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, d + 1))
+    return sorted(pcs)

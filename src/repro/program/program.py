@@ -1,0 +1,81 @@
+"""Static program container.
+
+A :class:`Program` is a flat list of :class:`~repro.isa.Instruction` objects
+indexed by PC.  Generated workloads are structured as one big outer loop (the
+last instruction jumps back toward the entry), so a program can supply an
+unbounded dynamic instruction stream; simulations stop at an instruction
+budget, the way trace-driven simulators stop at a trace-slice boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+
+
+class Program:
+    """An immutable sequence of instructions with branch-target validation."""
+
+    def __init__(self, instructions: Sequence[Instruction], name: str = "program"):
+        if not instructions:
+            raise ValueError("a program needs at least one instruction")
+        self.name = name
+        self._instrs: Tuple[Instruction, ...] = tuple(instructions)
+        for idx, instr in enumerate(self._instrs):
+            if instr.pc != idx:
+                raise ValueError(
+                    f"instruction {idx} carries pc={instr.pc}; PCs must be dense"
+                )
+            if instr.is_branch and not 0 <= instr.target < len(self._instrs):
+                raise ValueError(
+                    f"branch at pc={idx} targets {instr.target}, outside program"
+                )
+        last = self._instrs[-1]
+        if not last.is_branch or last.cond:
+            raise ValueError(
+                "the last instruction must be an unconditional branch so the "
+                "program forms a closed loop"
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instrs)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self._instrs[pc]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instrs)
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return self._instrs
+
+    # ------------------------------------------------------------------
+    def cond_branch_pcs(self) -> List[int]:
+        """PCs of all conditional branches (the predication candidates)."""
+        return [i.pc for i in self._instrs if i.is_cond_branch]
+
+    def basic_block_leaders(self) -> List[int]:
+        """PCs that start a basic block (entry, branch targets, fall-throughs)."""
+        leaders = {0}
+        for instr in self._instrs:
+            if instr.is_branch:
+                leaders.add(instr.target)
+                if instr.fallthrough < len(self._instrs):
+                    leaders.add(instr.fallthrough)
+        return sorted(leaders)
+
+    def basic_blocks(self) -> Dict[int, Tuple[int, int]]:
+        """Return ``{leader_pc: (start, end_exclusive)}`` for every block."""
+        leaders = self.basic_block_leaders()
+        blocks: Dict[int, Tuple[int, int]] = {}
+        for i, start in enumerate(leaders):
+            end = leaders[i + 1] if i + 1 < len(leaders) else len(self._instrs)
+            blocks[start] = (start, end)
+        return blocks
+
+    def disassemble(self) -> str:
+        """Human-readable listing, used in examples and debugging."""
+        return "\n".join(str(instr) for instr in self._instrs)

@@ -1,0 +1,50 @@
+"""Synthetic workload substrate: behaviours, generators, and the suite."""
+
+from repro.workloads.behaviors import (
+    Bernoulli,
+    BranchBehavior,
+    Correlated,
+    LoopTrip,
+    Markov,
+    MemBehavior,
+    Periodic,
+    Phased,
+    Strided,
+    UniformRandom,
+    WorkloadState,
+)
+from repro.workloads.workload import FunctionalExecutor, StepResult, Workload
+from repro.workloads.specs import HammockSpec, WorkloadSpec
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import (
+    REPRESENTATIVE,
+    categories,
+    load_suite,
+    suite_names,
+    suite_specs,
+)
+
+__all__ = [
+    "HammockSpec",
+    "WorkloadSpec",
+    "build_workload",
+    "REPRESENTATIVE",
+    "categories",
+    "load_suite",
+    "suite_names",
+    "suite_specs",
+    "Bernoulli",
+    "BranchBehavior",
+    "Correlated",
+    "LoopTrip",
+    "Markov",
+    "MemBehavior",
+    "Periodic",
+    "Phased",
+    "Strided",
+    "UniformRandom",
+    "WorkloadState",
+    "FunctionalExecutor",
+    "StepResult",
+    "Workload",
+]

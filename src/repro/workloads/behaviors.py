@@ -1,0 +1,283 @@
+"""Stochastic processes that drive synthetic workloads.
+
+A workload couples a static program with *behaviours*: small deterministic
+state machines that decide conditional-branch outcomes and memory addresses
+during functional execution.  The paper's workloads are proprietary traces;
+behaviours let us synthesize programs whose branches exhibit the specific
+phenomena the paper analyzes — pure-noise hard-to-predict branches,
+perfectly correlated branch pairs (Fig. 2b), loop trip counts, phase
+changes, and LLC-missing address streams (Fig. 2c).
+
+Everything is seeded and snapshot-able: the functional executor must be able
+to rewind to the start of a predicated region when an ACB instance diverges,
+so :class:`WorkloadState` keeps its entire mutable state in cheaply copyable
+scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+
+class WorkloadState:
+    """Mutable functional-execution state shared by all behaviours.
+
+    The random stream is a xorshift64* generator so a snapshot is a single
+    integer rather than a Mersenne-Twister state vector — predicated regions
+    snapshot this object on every dynamic instance.
+    """
+
+    def __init__(self, seed: int):
+        self._s = (seed * 2685821657736338717 + 1) & _MASK64 or 0x9E3779B97F4A7C15
+        #: last resolved outcome per branch behaviour, for correlation.
+        self.last: Dict[str, bool] = {}
+        #: per-behaviour scalar state; values must stay immutable.
+        self.vars: Dict[str, Tuple[int, ...]] = {}
+        #: functional (correct-path) instructions executed so far.
+        self.instr_count = 0
+
+    # -- random stream --------------------------------------------------
+    def rand_u64(self) -> int:
+        s = self._s
+        s ^= (s >> 12) & _MASK64
+        s ^= (s << 25) & _MASK64
+        s ^= (s >> 27) & _MASK64
+        self._s = s & _MASK64
+        return (self._s * 2685821657736338717) & _MASK64
+
+    def rand01(self) -> float:
+        return self.rand_u64() / float(1 << 64)
+
+    def randint(self, n: int) -> int:
+        """Uniform integer in ``[0, n)``."""
+        return self.rand_u64() % n
+
+    # -- snapshot / restore ---------------------------------------------
+    def snapshot(self) -> tuple:
+        return (self._s, dict(self.last), dict(self.vars), self.instr_count)
+
+    def restore(self, snap: tuple) -> None:
+        self._s, last, variables, self.instr_count = snap
+        self.last = dict(last)
+        self.vars = dict(variables)
+
+
+# ----------------------------------------------------------------------
+# Branch behaviours
+# ----------------------------------------------------------------------
+class BranchBehavior:
+    """Decides the outcome of one static conditional branch."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def outcome(self, st: WorkloadState) -> bool:
+        raise NotImplementedError
+
+    def resolve(self, st: WorkloadState) -> bool:
+        """Compute the outcome and record it for correlated followers."""
+        taken = self.outcome(st)
+        st.last[self.name] = taken
+        return taken
+
+
+class Bernoulli(BranchBehavior):
+    """Pure data-dependent noise: taken with probability *p*.
+
+    This is the canonical hard-to-predict branch — no history-based
+    predictor can beat ``max(p, 1-p)`` accuracy on it.
+    """
+
+    def __init__(self, name: str, p: float):
+        super().__init__(name)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be a probability, got {p}")
+        self.p = p
+
+    def outcome(self, st: WorkloadState) -> bool:
+        return st.rand01() < self.p
+
+
+class Correlated(BranchBehavior):
+    """Outcome equals the last outcome of behaviour *source* (Fig. 2b).
+
+    With *agree* < 1 the correlation is imperfect.  A TAGE predictor learns
+    this branch perfectly as long as the source branch appears in the global
+    history — which is exactly what dynamic predication of the source branch
+    destroys (Section II-C2, the omnetpp effect).
+    """
+
+    def __init__(self, name: str, source: str, agree: float = 1.0, invert: bool = False):
+        super().__init__(name)
+        self.source = source
+        self.agree = agree
+        self.invert = invert
+
+    def outcome(self, st: WorkloadState) -> bool:
+        base = st.last.get(self.source, False)
+        if self.invert:
+            base = not base
+        if self.agree < 1.0 and st.rand01() >= self.agree:
+            base = not base
+        return base
+
+
+class Periodic(BranchBehavior):
+    """Deterministic repeating pattern — trivially predictable by TAGE."""
+
+    def __init__(self, name: str, pattern: Tuple[bool, ...]):
+        super().__init__(name)
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = tuple(bool(b) for b in pattern)
+
+    def outcome(self, st: WorkloadState) -> bool:
+        (idx,) = st.vars.get(self.name, (0,))
+        st.vars[self.name] = ((idx + 1) % len(self.pattern),)
+        return self.pattern[idx]
+
+
+class LoopTrip(BranchBehavior):
+    """Backward loop branch: taken ``trip - 1`` times, then exits.
+
+    With *jitter* > 0 the trip count is re-drawn each time around
+    ``trips ± jitter``, making the exit hard to predict — the loop category
+    of the Section II characterization.
+    """
+
+    def __init__(self, name: str, trips: int, jitter: int = 0):
+        super().__init__(name)
+        if trips < 1:
+            raise ValueError("trips must be >= 1")
+        self.trips = trips
+        self.jitter = jitter
+
+    def _draw(self, st: WorkloadState) -> int:
+        if self.jitter == 0:
+            return self.trips
+        lo = max(1, self.trips - self.jitter)
+        return lo + st.randint(2 * self.jitter + 1)
+
+    def outcome(self, st: WorkloadState) -> bool:
+        count, cur = st.vars.get(self.name, (0, 0))
+        if cur == 0:
+            cur = self._draw(st)
+        count += 1
+        if count >= cur:
+            st.vars[self.name] = (0, 0)
+            return False  # exit the loop
+        st.vars[self.name] = (count, cur)
+        return True
+
+
+class Markov(BranchBehavior):
+    """Two-state Markov chain: bursty taken/not-taken runs.
+
+    ``p_stay`` is the probability of remaining in the current state each
+    resolution.  High values produce long correlated bursts — predictable
+    by history inside a burst, mispredicted at every transition — the
+    "streaky" branch profile common in client workloads.
+    """
+
+    def __init__(self, name: str, p_stay: float = 0.9):
+        super().__init__(name)
+        if not 0.0 < p_stay < 1.0:
+            raise ValueError("p_stay must lie strictly between 0 and 1")
+        self.p_stay = p_stay
+
+    def outcome(self, st: WorkloadState) -> bool:
+        (state,) = st.vars.get(self.name, (1,))
+        if st.rand01() >= self.p_stay:
+            state = 1 - state
+        st.vars[self.name] = (state,)
+        return bool(state)
+
+
+class Phased(BranchBehavior):
+    """Bernoulli whose *p* changes between program phases.
+
+    ``phases`` is a list of ``(duration_in_resolutions, p)`` pairs, cycled.
+    Used to exercise Dynamo's periodic re-learning (Section III-C).
+    """
+
+    def __init__(self, name: str, phases: Tuple[Tuple[int, float], ...]):
+        super().__init__(name)
+        if not phases:
+            raise ValueError("phases must be non-empty")
+        self.phases = tuple((int(n), float(p)) for n, p in phases)
+
+    def outcome(self, st: WorkloadState) -> bool:
+        idx, left = st.vars.get(self.name, (0, self.phases[0][0]))
+        p = self.phases[idx][1]
+        left -= 1
+        if left <= 0:
+            idx = (idx + 1) % len(self.phases)
+            left = self.phases[idx][0]
+        st.vars[self.name] = (idx, left)
+        return st.rand01() < p
+
+
+# ----------------------------------------------------------------------
+# Memory behaviours
+# ----------------------------------------------------------------------
+class MemBehavior:
+    """Produces the byte address of one static load or store."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def address(self, st: WorkloadState) -> int:
+        raise NotImplementedError
+
+
+class Strided(MemBehavior):
+    """Sequential stream: cache-resident after warm-up."""
+
+    def __init__(self, name: str, base: int, stride: int = 64, span: int = 1 << 14):
+        super().__init__(name)
+        self.base = base
+        self.stride = stride
+        self.span = span
+
+    def address(self, st: WorkloadState) -> int:
+        (k,) = st.vars.get(self.name, (0,))
+        st.vars[self.name] = (k + 1,)
+        return self.base + (k * self.stride) % self.span
+
+
+class UniformRandom(MemBehavior):
+    """Uniform random addresses over *span* bytes.
+
+    Spans much larger than the LLC produce DRAM misses — the long-latency
+    loads that shadow branch mispredictions in the soplex analysis
+    (Section V-A) and that predication can delay (Fig. 2c).
+    """
+
+    def __init__(self, name: str, base: int, span: int):
+        super().__init__(name)
+        self.base = base
+        self.span = span
+
+    def address(self, st: WorkloadState) -> int:
+        return self.base + (st.rand_u64() % self.span) & ~0x3F
+
+
+def make_default_mem(pc: int) -> MemBehavior:
+    """Private strided stream for loads/stores without an explicit behaviour."""
+    return Strided(f"_default_mem_{pc}", base=(pc + 1) << 20, stride=64, span=1 << 12)
+
+
+# ----------------------------------------------------------------------
+BehaviorMap = Dict[str, object]
+
+
+def resolve_branch(behaviors: BehaviorMap, name: Optional[str], st: WorkloadState) -> bool:
+    """Resolve a branch outcome through the registry."""
+    if name is None or name not in behaviors:
+        raise KeyError(f"conditional branch without behaviour: {name!r}")
+    behavior = behaviors[name]
+    if not isinstance(behavior, BranchBehavior):
+        raise TypeError(f"behaviour {name!r} is not a BranchBehavior")
+    return behavior.resolve(st)

@@ -1,0 +1,256 @@
+"""Turn a :class:`WorkloadSpec` into a runnable :class:`Workload`.
+
+Kernels are one big loop.  Register conventions:
+
+====  =======================================================
+R1    loop-carried serial chain (feeds every compare)
+R2,R5,R6,R7  hammock-body chains / live-outs
+R3    join consumer of body live-outs (register transparency)
+R4    memory value register
+R8–R11  independent ILP filler
+R12   address register produced inside bodies (Fig. 2c pattern)
+R13   long-latency load destination
+R14   pointer-chase register (serialized DRAM misses)
+R15   inner-loop counter
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.behaviors import (
+    Bernoulli,
+    LoopTrip,
+    Periodic,
+    Phased,
+    Strided,
+    UniformRandom,
+)
+from repro.workloads.specs import HammockSpec, WorkloadSpec
+from repro.workloads.workload import Workload
+
+_BODY_REGS = (2, 5, 6, 7)
+
+
+def _branch_behavior(name: str, h: HammockSpec, p_shift: float = 0.0):
+    if h.kind == "bernoulli":
+        p = min(0.95, max(0.01, h.p + p_shift))
+        return Bernoulli(name, p)
+    if h.kind == "periodic":
+        return Periodic(name, h.pattern)
+    if h.kind == "markov":
+        from repro.workloads.behaviors import Markov
+
+        return Markov(name, h.p_stay)
+    return Phased(name, h.phases)
+
+
+def _emit_body(
+    b: ProgramBuilder,
+    h: HammockSpec,
+    length: int,
+    hname: str,
+    side: str,
+) -> None:
+    """Emit *length* instructions of hammock body."""
+    if length <= 0:
+        return
+    op = b.mul if h.body_op == "mul" else b.alu
+    store_at = length // 2 if h.store_in_body else -1
+    feed_at = length - 1 if h.body_feeds_load else -1
+    for i in range(length):
+        reg = _BODY_REGS[i % max(1, min(h.live_outs, len(_BODY_REGS)))]
+        if i == store_at:
+            b.store(srcs=(reg,), behavior=None, note=f"{hname}.{side}.store")
+        elif i == feed_at:
+            b.alu(dst=12, srcs=(reg, 12), note=f"{hname}.{side}.addrfeed")
+        elif i == 0:
+            op(dst=reg, srcs=(1,), note=f"{hname}.{side}.0")
+        else:
+            prev = _BODY_REGS[(i - 1) % max(1, min(h.live_outs, len(_BODY_REGS)))]
+            op(dst=reg, srcs=(prev,), note=f"{hname}.{side}.{i}")
+
+
+def _emit_hammock(
+    b: ProgramBuilder,
+    hi: int,
+    h: HammockSpec,
+    behaviors: Dict[str, object],
+    deferred: List[Callable[[], None]],
+    p_shift: float,
+) -> None:
+    hname = f"h{hi}"
+    behaviors[hname] = _branch_behavior(hname, h, p_shift)
+    join = f"join{hi}"
+    if h.slow_source:
+        # the branch condition comes from memory: a missy load makes the
+        # branch resolve late, so predication stalls its whole region while
+        # speculation runs ahead (the Fig. 2c pathology).
+        sname = f"{hname}_src"
+        behaviors[sname] = UniformRandom(
+            sname, base=(hi + 9) << 26, span=h.slow_span_kb << 10
+        )
+        b.load(dst=7, srcs=(3,), behavior=sname, note=f"{hname}.slowsrc")
+        b.compare(srcs=(7,), note=f"{hname}.cmp")
+    else:
+        b.compare(srcs=(1,), note=f"{hname}.cmp")
+
+    if h.shape in ("if", "nested", "multi_exit"):
+        b.cond_branch(join, behavior=hname, note=f"{hname}.branch")
+        if h.shape == "if":
+            _emit_body(b, h, h.nt_len, hname, "nt")
+        elif h.shape == "nested":
+            first = max(1, h.nt_len // 2)
+            _emit_body(b, h, first, hname, "nt_a")
+            iname = f"{hname}_inner"
+            behaviors[iname] = Periodic(iname, (True, False, False))
+            b.cond_branch(f"iskip{hi}", behavior=iname, note=f"{hname}.inner")
+            b.alu(dst=5, srcs=(2,), note=f"{hname}.inner.0")
+            b.alu(dst=5, srcs=(5,), note=f"{hname}.inner.1")
+            b.label(f"iskip{hi}")
+            _emit_body(b, h, max(1, h.nt_len - first), hname, "nt_b")
+        else:  # multi_exit: body may escape past the join to a farther point
+            first = max(1, h.nt_len // 2)
+            _emit_body(b, h, first, hname, "nt_a")
+            ename = f"{hname}_escape"
+            behaviors[ename] = Bernoulli(ename, h.escape_p)
+            b.cond_branch(f"far{hi}", behavior=ename, note=f"{hname}.escape")
+            _emit_body(b, h, max(1, h.nt_len - first), hname, "nt_b")
+    elif h.shape == "if_else":
+        b.cond_branch(f"tblk{hi}", behavior=hname, note=f"{hname}.branch")
+        _emit_body(b, h, h.nt_len, hname, "nt")
+        b.jump(join, note=f"{hname}.jumper")
+        b.label(f"tblk{hi}")
+        _emit_body(b, h, h.taken_len, hname, "t")
+    else:  # type3: taken block placed after the loop, jumping back to join
+        b.cond_branch(f"tblk{hi}", behavior=hname, note=f"{hname}.branch")
+        _emit_body(b, h, h.nt_len, hname, "nt")
+
+        def _deferred_taken(hi=hi, h=h, hname=hname):
+            b.label(f"tblk{hi}")
+            _emit_body(b, h, max(1, h.taken_len), hname, "t")
+            b.jump(join, note=f"{hname}.backjumper")
+
+        deferred.append(_deferred_taken)
+
+    b.label(join)
+    b.alu(dst=3, srcs=(2,), note=f"{hname}.join")
+    if h.join_feeds_chain:
+        b.alu(dst=1, srcs=(1, 3), note=f"{hname}.chainfeed")
+
+    if h.shape == "multi_exit":
+        b.alu(dst=3, srcs=(3,), note=f"{hname}.postjoin")
+        b.label(f"far{hi}")
+        b.alu(dst=3, srcs=(3,), note=f"{hname}.far")
+
+    if h.body_feeds_load:
+        lname = f"{hname}_critload"
+        behaviors[lname] = UniformRandom(lname, base=(hi + 1) << 28, span=64 << 20)
+        b.load(dst=13, srcs=(12,), behavior=lname, note=f"{hname}.critload")
+        b.alu(dst=1, srcs=(1, 13), note=f"{hname}.critconsume")
+
+    # Followers are perfectly correlated with the hammock branch but
+    # deliberately *backward*, so no predication scheme can cover them:
+    # once the leader is predicated out of the global history, their
+    # accuracy collapses and nothing can repair it — the Section II-C2 /
+    # omnetpp inversion.
+    from repro.workloads.behaviors import Correlated
+
+    for f in range(h.followers):
+        fname = f"{hname}_follower{f}"
+        behaviors[fname] = Correlated(fname, source=hname)
+        b.jump(f"fmain{hi}_{f}", note=f"{fname}.skipblock")
+        b.label(f"fblock{hi}_{f}")
+        b.alu(dst=5, srcs=(1,), note=f"{fname}.body0")
+        b.alu(dst=5, srcs=(5,), note=f"{fname}.body1")
+        b.jump(f"fcont{hi}_{f}", note=f"{fname}.return")
+        b.label(f"fmain{hi}_{f}")
+        sname = f"{fname}_src"
+        behaviors[sname] = UniformRandom(
+            sname, base=(hi * 7 + f + 3) << 27, span=h.follower_slow_kb << 10
+        )
+        b.load(dst=6, srcs=(3,), behavior=sname, note=f"{fname}.slowsrc")
+        b.compare(srcs=(6,), note=f"{fname}.cmp")
+        b.cond_branch(f"fblock{hi}_{f}", behavior=fname, note=f"{fname}.branch")
+        b.label(f"fcont{hi}_{f}")
+        b.alu(dst=6, srcs=(5,), note=f"{fname}.join")
+
+
+def _emit_memory(b: ProgramBuilder, spec: WorkloadSpec, behaviors: Dict[str, object]) -> None:
+    if spec.memory == "none":
+        return
+    span = spec.mem_span_kb * 1024
+    for m in range(spec.mem_ops):
+        mname = f"mem{m}"
+        if spec.memory == "strided":
+            behaviors[mname] = Strided(mname, base=(m + 1) << 24, stride=64, span=span)
+            b.load(dst=4, srcs=(3,), behavior=mname, note=f"mem.load{m}")
+            if m % 2 == 1:
+                behaviors[f"{mname}s"] = Strided(
+                    f"{mname}s", base=(m + 17) << 24, stride=64, span=span
+                )
+                b.store(srcs=(4,), behavior=f"{mname}s", note=f"mem.store{m}")
+        elif spec.memory == "random":
+            behaviors[mname] = UniformRandom(mname, base=(m + 1) << 24, span=span)
+            b.load(dst=4, srcs=(3,), behavior=mname, note=f"mem.load{m}")
+        else:  # chase: serialized long-latency loads, off the branch chain
+            behaviors[mname] = UniformRandom(mname, base=(m + 1) << 28, span=span)
+            b.load(dst=14, srcs=(14,), behavior=mname, note=f"mem.chase{m}")
+            # consume into a side register: the chase dominates the critical
+            # path without making branch conditions depend on it, so flushes
+            # resolve in its shadow (the soplex analysis, Section V-A).
+            b.alu(dst=5, srcs=(5, 14), note=f"mem.chaseuse{m}")
+
+
+def _emit_inner_loop(b: ProgramBuilder, spec: WorkloadSpec, behaviors: Dict[str, object]) -> None:
+    if spec.inner_loop is None:
+        return
+    trips, jitter = spec.inner_loop
+    behaviors["iloop"] = LoopTrip("iloop", trips=trips, jitter=jitter)
+    b.label("inner_top")
+    b.alu(dst=15, srcs=(15,), note="iloop.count")
+    b.alu(dst=9, srcs=(9,), note="iloop.body")
+    b.compare(srcs=(15,), note="iloop.cmp")
+    b.cond_branch("inner_top", behavior="iloop", note="iloop.branch")
+
+
+def build_workload(spec: WorkloadSpec, train: bool = False) -> Workload:
+    """Materialize *spec* into a program + behaviours.
+
+    With ``train=True`` the branch probabilities are shifted by
+    ``spec.train_shift`` and a different functional seed is used — this is
+    the profiling input handed to DMP's compiler pass.
+    """
+    behaviors: Dict[str, object] = {}
+    b = ProgramBuilder(spec.name if not train else f"{spec.name}.train")
+    deferred: List[Callable[[], None]] = []
+    p_shift = spec.train_shift if train else 0.0
+
+    b.label("top")
+    for i in range(spec.chain):
+        b.alu(dst=1, srcs=(1,), note=f"chain.{i}")
+    for i in range(spec.ilp):
+        reg = 8 + i % 4
+        b.alu(dst=reg, srcs=(reg,), note=f"ilp.{i}")
+    for hi, h in enumerate(spec.hammocks):
+        _emit_hammock(b, hi, h, behaviors, deferred, p_shift)
+    _emit_memory(b, spec, behaviors)
+    _emit_inner_loop(b, spec, behaviors)
+    b.jump("top")
+    for emit in deferred:
+        emit()
+
+    workload = Workload(
+        name=spec.name if not train else f"{spec.name}.train",
+        category=spec.category,
+        program=b.build(),
+        behaviors=behaviors,
+        seed=spec.seed + (1_000_003 if train else 0),
+        description=spec.description,
+        paper_tag=spec.paper_tag,
+    )
+    if not train:
+        workload.train = build_workload(spec, train=True)
+    return workload

@@ -1,0 +1,118 @@
+"""Workload specification dataclasses.
+
+A :class:`WorkloadSpec` is a declarative description of a synthetic kernel;
+:mod:`repro.workloads.generator` turns it into a program + behaviours.  The
+vocabulary is chosen so each phenomenon the paper analyzes has a dedicated
+knob (see DESIGN.md §2's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HammockSpec:
+    """One conditional-branch hammock inside the kernel loop.
+
+    Parameters
+    ----------
+    shape:
+        ``"if"`` (Type-1), ``"if_else"`` (Type-2), ``"type3"`` (Type-3
+        layout with the taken block placed after the join), ``"nested"``
+        (Type-1 with an inner predictable hammock), or ``"multi_exit"``
+        (the NT body can escape to a farther join — the multiple-
+        reconvergence-point pattern DMP's compiler handles, Fig. 8 B1).
+    taken_len / nt_len:
+        Instructions on each side (the T and N of Equation 1).
+    p:
+        Taken probability (for ``kind="bernoulli"``).
+    kind:
+        ``"bernoulli"`` (hard-to-predict), ``"periodic"`` (predictable), or
+        ``"phased"`` (p changes between program phases).
+    followers:
+        Number of perfectly correlated follower branches after the join —
+        the Figure 2(b) pairs whose accuracy predication destroys.  They
+        are emitted as backward branches so no predication scheme can cover
+        them.
+    body_feeds_load:
+        The body produces the address of a long-latency load consumed by
+        the loop-carried chain — the Figure 2(c) critical-load pattern.
+    store_in_body:
+        Put a store inside the body (exercises false-path store
+        invalidation, and disqualifies the hammock for DHP).
+    body_op:
+        ``"alu"`` or ``"mul"``: ``"mul"`` makes stalling the body costlier,
+        favouring DMP's eager execution (Fig. 8 B2).
+    escape_p:
+        For ``multi_exit``: probability the body escapes to the far join.
+    """
+
+    shape: str = "if"
+    taken_len: int = 0
+    nt_len: int = 4
+    p: float = 0.4
+    kind: str = "bernoulli"
+    pattern: Tuple[bool, ...] = (True, True, False)
+    phases: Tuple[Tuple[int, float], ...] = ((4000, 0.45), (4000, 0.02))
+    p_stay: float = 0.9  # for kind="markov": burst persistence
+    followers: int = 0
+    #: span of the followers' compare-source load: followers resolving late
+    #: flush more in-flight work, which is what makes corrupting their
+    #: prediction (Section II-C2) expensive.
+    follower_slow_kb: int = 256
+    body_feeds_load: bool = False
+    store_in_body: bool = False
+    #: feed the branch compare from a long-latency load: the branch resolves
+    #: slowly, so stalling its body (predication) hurts while speculation
+    #: sails through — the classic predication-hostile pattern (Fig. 2c,
+    #: categories C/E).
+    slow_source: bool = False
+    #: span of the slow-source load's address stream (controls how late the
+    #: branch resolves and hence how hostile predication is).
+    slow_span_kb: int = 4096
+    #: route the loop-carried chain through the region's live-out: with
+    #: predication (or select micro-ops) the whole loop then waits for the
+    #: branch to resolve, while speculation runs ahead — combined with
+    #: ``slow_source`` this is the Figure 2(c) pathology in loop-carried
+    #: form (categories C and E).
+    join_feeds_chain: bool = False
+    body_op: str = "alu"
+    escape_p: float = 0.15
+    #: distinct registers the body writes (select-uop pressure for DMP;
+    #: the Fig. 10 allocation-stall pattern needs several live-outs).
+    live_outs: int = 1
+
+    def __post_init__(self):
+        if self.shape not in ("if", "if_else", "type3", "nested", "multi_exit"):
+            raise ValueError(f"unknown hammock shape {self.shape!r}")
+        if self.kind not in ("bernoulli", "periodic", "phased", "markov"):
+            raise ValueError(f"unknown branch kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Full description of one synthetic workload."""
+
+    name: str
+    category: str
+    seed: int = 1
+    paper_tag: str = ""
+    hammocks: Tuple[HammockSpec, ...] = (HammockSpec(),)
+    ilp: int = 4                 # independent filler ALU ops per iteration
+    chain: int = 2               # serial loop-carried chain ops per iteration
+    memory: str = "strided"      # "none" | "strided" | "random" | "chase"
+    mem_span_kb: int = 16
+    mem_ops: int = 1
+    inner_loop: Optional[Tuple[int, int]] = None   # (trips, jitter)
+    #: shift applied to every hammock's p for the *training* input used by
+    #: DMP's profiling pass — the train/test input mismatch of Section II-B.
+    train_shift: float = 0.0
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.memory not in ("none", "strided", "random", "chase"):
+            raise ValueError(f"unknown memory pattern {self.memory!r}")
+        if not self.hammocks:
+            raise ValueError("a workload needs at least one hammock")

@@ -1,0 +1,131 @@
+"""Workload = static program + behaviours, and its functional executor.
+
+The functional executor advances architectural control flow along the
+*correct* path only, one instruction per :meth:`FunctionalExecutor.step`.
+The timing simulator drives it from fetch: correct-path fetches step the
+executor; wrong-path and predicated-false-path fetches do not.  Snapshots
+support rewinding to the start of a predicated region when an ACB instance
+diverges and must be refetched (Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.program.program import Program
+from repro.workloads.behaviors import (
+    BranchBehavior,
+    MemBehavior,
+    WorkloadState,
+    make_default_mem,
+)
+
+
+@dataclass
+class Workload:
+    """A runnable synthetic workload.
+
+    Parameters
+    ----------
+    name, category:
+        Identification; *category* matches the paper's Table III groups
+        (``ISPEC``, ``FSPEC``, ``SPEC17``, ``SYSmark``, ``Client``,
+        ``Server``).
+    program:
+        The static code.
+    behaviors:
+        Registry mapping behaviour names referenced by instructions to
+        behaviour objects.
+    seed:
+        Seed of the functional random stream (the workload's "input set").
+    paper_tag:
+        Optional tag tying the workload to a named paper outlier or category
+        letter (``lammps``, ``soplex``, ``omnetpp``, ``A``…``E``).
+    """
+
+    name: str
+    category: str
+    program: Program
+    behaviors: Dict[str, object]
+    seed: int = 1
+    description: str = ""
+    paper_tag: str = ""
+    #: optional profiling input (different behaviour parameters) used by the
+    #: DMP baseline's compiler pass — the train/test mismatch of Section II.
+    train: Optional["Workload"] = None
+    _mem_defaults: Dict[int, MemBehavior] = field(default_factory=dict, repr=False)
+
+    def mem_behavior(self, pc: int) -> MemBehavior:
+        """Behaviour for the memory instruction at *pc* (default: strided)."""
+        key = self.program[pc].behavior
+        if key is not None and key in self.behaviors:
+            behavior = self.behaviors[key]
+            if not isinstance(behavior, MemBehavior):
+                raise TypeError(f"behaviour {key!r} at pc={pc} is not a MemBehavior")
+            return behavior
+        if pc not in self._mem_defaults:
+            self._mem_defaults[pc] = make_default_mem(pc)
+        return self._mem_defaults[pc]
+
+    def branch_behavior(self, pc: int) -> BranchBehavior:
+        key = self.program[pc].behavior
+        behavior = self.behaviors.get(key) if key else None
+        if not isinstance(behavior, BranchBehavior):
+            raise KeyError(f"conditional branch at pc={pc} has no branch behaviour")
+        return behavior
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Functional outcome of one correct-path instruction."""
+
+    taken: Optional[bool]     # branches only
+    next_pc: int
+    mem_addr: Optional[int]   # loads/stores only
+
+
+class FunctionalExecutor:
+    """Architectural (timing-free) execution along the correct path."""
+
+    def __init__(self, workload: Workload, seed_offset: int = 0):
+        self.workload = workload
+        self.program = workload.program
+        self.state = WorkloadState(workload.seed + seed_offset)
+        self.next_pc = 0
+
+    @property
+    def instr_count(self) -> int:
+        """Correct-path instructions executed so far."""
+        return self.state.instr_count
+
+    def step(self, pc: int) -> StepResult:
+        """Execute the instruction at *pc*, which must be the next correct PC."""
+        if pc != self.next_pc:
+            raise RuntimeError(
+                f"functional stream out of sync: expected pc={self.next_pc}, got {pc}"
+            )
+        instr = self.program[pc]
+        taken: Optional[bool] = None
+        mem_addr: Optional[int] = None
+        if instr.is_cond_branch:
+            taken = self.workload.branch_behavior(pc).resolve(self.state)
+            nxt = instr.target if taken else instr.fallthrough
+        elif instr.is_branch:
+            taken = True
+            nxt = instr.target
+        else:
+            nxt = instr.fallthrough
+            if instr.is_mem:
+                mem_addr = self.workload.mem_behavior(pc).address(self.state)
+        self.state.instr_count += 1
+        self.next_pc = nxt
+        return StepResult(taken=taken, next_pc=nxt, mem_addr=mem_addr)
+
+    # -- rewind support ---------------------------------------------------
+    def snapshot(self) -> Tuple[int, tuple]:
+        return (self.next_pc, self.state.snapshot())
+
+    def restore(self, snap: Tuple[int, tuple]) -> None:
+        self.next_pc, state_snap = snap
+        self.state.restore(state_snap)

@@ -1,0 +1,64 @@
+"""Tests for the Critical Table (Section III-A)."""
+
+from repro.acb import CriticalTable
+
+
+class TestCriticalTable:
+    def test_saturation_after_threshold(self):
+        table = CriticalTable(entries=64, counter_bits=4)
+        saturated = False
+        for i in range(20):
+            saturated = table.record_mispredict(0x123)
+            if saturated:
+                assert i >= 14  # 4-bit counter: needs 15 increments
+                break
+        assert saturated
+
+    def test_lookup(self):
+        table = CriticalTable()
+        assert table.lookup(0x55) is None
+        table.record_mispredict(0x55)
+        assert table.lookup(0x55) == 1
+
+    def test_conflict_managed_by_utility(self):
+        table = CriticalTable(entries=64)
+        a, b = 0x40, 0x80  # same index (pc & 63 == 0), different tags
+        table.record_mispredict(a)
+        # incumbent has utility 1; one conflicting event evicts it
+        table.record_mispredict(b)
+        assert table.lookup(a) is None or table.lookup(b) is None
+        # a heavily used incumbent survives several conflicts
+        for _ in range(5):
+            table.record_mispredict(a)
+        table.record_mispredict(b)
+        assert table.lookup(a) is not None
+
+    def test_vacate(self):
+        table = CriticalTable()
+        table.record_mispredict(7)
+        table.vacate(7)
+        assert table.lookup(7) is None
+
+    def test_penalize_zeroes_counter(self):
+        table = CriticalTable()
+        for _ in range(5):
+            table.record_mispredict(7)
+        table.penalize(7)
+        assert table.lookup(7) == 0
+
+    def test_window_decay_halves(self):
+        table = CriticalTable()
+        for _ in range(8):
+            table.record_mispredict(7)
+        table.decay_window()
+        assert table.lookup(7) == 4
+
+    def test_storage_is_136_bytes(self):
+        # 64 x (11 tag + 2 utility + 4 critical) bits = 1088 bits
+        assert CriticalTable().storage_bits() == 64 * 17
+
+    def test_occupancy(self):
+        table = CriticalTable()
+        table.record_mispredict(1)
+        table.record_mispredict(2)
+        assert table.occupancy() == 2

@@ -1,0 +1,160 @@
+"""End-to-end tests of the full ACB scheme on a live core."""
+
+from dataclasses import replace
+
+from repro.acb import AcbScheme, GOOD, BAD, PAPER_TOTAL_BYTES, storage_report
+from repro.core import Core, SKYLAKE_LIKE
+from repro.harness.runner import reduced_acb_config
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+from tests.conftest import h2p_hammock_workload, predictable_workload
+
+
+def acb_core(workload, **cfg_overrides):
+    cfg = replace(reduced_acb_config(), **cfg_overrides)
+    return Core(workload, SKYLAKE_LIKE, scheme=AcbScheme(cfg))
+
+
+class TestLearningPipeline:
+    def test_learns_and_applies_on_h2p_hammock(self):
+        core = acb_core(h2p_hammock_workload())
+        stats = core.run(12_000)
+        scheme = core.scheme
+        assert scheme.learned >= 1
+        entries = scheme.table.entries()
+        assert entries
+        workload_pc = core.program.cond_branch_pcs()[0]
+        learned = scheme.table.lookup(workload_pc)
+        assert learned is not None
+        assert learned.conv_type == 1
+        assert learned.reconv_pc == core.program[workload_pc].target
+        assert stats.predicated_instances > 100
+
+    def test_flush_reduction_and_speedup(self):
+        base = Core(h2p_hammock_workload(), SKYLAKE_LIKE).run(12_000)
+        acb = acb_core(h2p_hammock_workload()).run(12_000)
+        assert acb.flushes < base.flushes * 0.6
+        assert acb.cycles < base.cycles
+
+    def test_ignores_predictable_branches(self):
+        core = acb_core(predictable_workload())
+        stats = core.run(10_000)
+        assert stats.predicated_instances == 0
+        assert core.scheme.learned == 0
+
+    def test_learns_type2_and_type3(self):
+        for shape, expected_type in (("if_else", 2), ("type3", 3)):
+            spec = WorkloadSpec(
+                name=f"e2e_{shape}",
+                category="test",
+                hammocks=(HammockSpec(shape=shape, taken_len=4, nt_len=4, p=0.4),),
+                ilp=2,
+                chain=1,
+                memory="none",
+            )
+            workload = build_workload(spec)
+            core = acb_core(workload)
+            core.run(12_000)
+            pc = workload.program.cond_branch_pcs()[0]
+            entry = core.scheme.table.lookup(pc)
+            assert entry is not None, shape
+            assert entry.conv_type == expected_type, shape
+
+    def test_backward_branches_not_applied(self):
+        spec = WorkloadSpec(
+            name="loops",
+            category="test",
+            hammocks=(HammockSpec(shape="if", nt_len=2, kind="periodic",
+                                  pattern=(True, False)),),
+            ilp=1,
+            chain=1,
+            memory="none",
+            inner_loop=(6, 4),  # jittery exit: mispredicting backward branch
+        )
+        workload = build_workload(spec)
+        core = acb_core(workload)
+        stats = core.run(12_000)
+        # the backward loop branch mispredicts (jittery exit) but is never
+        # predicated; forward branches in the same kernel may be.
+        loop_pc = next(
+            pc for pc in workload.program.cond_branch_pcs()
+            if not workload.program[pc].is_forward_branch
+        )
+        loop_stats = stats.per_branch[loop_pc]
+        assert loop_stats.mispredicted > 50
+        assert loop_stats.predicated == 0
+
+
+class TestDivergenceHandling:
+    def test_multi_exit_divergence_resets_confidence(self):
+        spec = WorkloadSpec(
+            name="b1",
+            category="test",
+            hammocks=(HammockSpec(shape="multi_exit", nt_len=8, p=0.4,
+                                  escape_p=0.25),),
+            ilp=2,
+            chain=1,
+            memory="none",
+        )
+        core = acb_core(build_workload(spec), dynamo_enabled=False)
+        stats = core.run(16_000)
+        assert stats.divergence_flushes > 0
+        assert core.scheme.divergences > 0
+        # divergences forced retraining, so coverage stayed partial
+        assert stats.predicated_instances < stats.branches
+
+
+class TestDynamoIntegration:
+    def test_good_state_on_friendly_workload(self):
+        core = acb_core(h2p_hammock_workload())
+        core.run(14_000)
+        states = [e.fsm for e in core.scheme.table.entries()]
+        assert GOOD in states
+
+    def test_bad_state_on_hostile_workload(self):
+        spec = WorkloadSpec(
+            name="hostile",
+            category="test",
+            hammocks=(HammockSpec(shape="if", nt_len=6, p=0.3, slow_source=True,
+                                  join_feeds_chain=True),),
+            ilp=2,
+            chain=1,
+            memory="none",
+        )
+        core = acb_core(build_workload(spec))
+        core.run(16_000)
+        states = [e.fsm for e in core.scheme.table.entries()]
+        assert BAD in states
+
+    def test_dynamo_beats_no_dynamo_on_hostile_workload(self):
+        spec = WorkloadSpec(
+            name="hostile2",
+            category="test",
+            hammocks=(HammockSpec(shape="if", nt_len=6, p=0.3, slow_source=True,
+                                  join_feeds_chain=True),),
+            ilp=2,
+            chain=1,
+            memory="none",
+        )
+        with_dynamo = acb_core(build_workload(spec)).run(16_000)
+        without = acb_core(build_workload(spec), dynamo_enabled=False).run(16_000)
+        assert with_dynamo.cycles < without.cycles
+
+
+class TestStorage:
+    def test_total_matches_paper(self):
+        scheme = AcbScheme(reduced_acb_config())
+        report = storage_report(scheme)
+        assert report["total_bytes"] == PAPER_TOTAL_BYTES
+
+    def test_component_budgets(self):
+        report = storage_report(AcbScheme(reduced_acb_config()))
+        assert report["critical_table_bytes"] == 136
+        assert report["learning_table_bytes"] == 20
+        assert report["acb_table_bytes"] == 200
+
+
+class TestSelectUopVariant:
+    def test_select_variant_runs_and_costs_allocation(self):
+        plain = acb_core(h2p_hammock_workload()).run(10_000)
+        select = acb_core(h2p_hammock_workload(), select_uops=True).run(10_000)
+        assert select.allocated >= plain.allocated

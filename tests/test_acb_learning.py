@@ -1,0 +1,189 @@
+"""Tests for the Learning Table's convergence detection (Section III-B).
+
+The learner consumes the fetch stream; these tests synthesize streams
+directly so every FSM path (Type-1/2/3, the backward transform, failures)
+is exercised deterministically.
+"""
+
+import pytest
+
+from repro.acb import ConvergenceResult, LearningTable
+from repro.acb.learning import effective_taken
+from repro.isa import Instruction, UopClass
+from repro.isa.dyninst import DynInst
+
+
+def dyn_at(pc, uop=UopClass.ALU, dst=1, target=None, cond=False, pred_taken=None):
+    instr = Instruction(
+        pc=pc,
+        uop=uop,
+        dst=None if uop is UopClass.BRANCH else dst,
+        target=target,
+        cond=cond,
+    )
+    dyn = DynInst(0, instr)
+    if pred_taken is not None:
+        dyn.predicted = True
+        dyn.pred_taken = pred_taken
+    return dyn
+
+
+def branch_at(pc, target, pred_taken):
+    return dyn_at(pc, uop=UopClass.BRANCH, target=target, cond=True, pred_taken=pred_taken)
+
+
+def jump_at(pc, target):
+    return dyn_at(pc, uop=UopClass.BRANCH, target=target, cond=False)
+
+
+class Recorder:
+    def __init__(self):
+        self.results = []
+        self.failures = []
+
+    def converged(self, result: ConvergenceResult):
+        self.results.append(result)
+
+    def failed(self, pc: int):
+        self.failures.append(pc)
+
+
+def make_learner(limit=40):
+    rec = Recorder()
+    table = LearningTable(limit=limit, on_converged=rec.converged, on_failed=rec.failed)
+    return table, rec
+
+
+class TestEffectiveTaken:
+    def test_unconditional_always_taken(self):
+        assert effective_taken(jump_at(0, 5))
+
+    def test_conditional_uses_prediction(self):
+        assert effective_taken(branch_at(0, 5, pred_taken=True))
+        assert not effective_taken(branch_at(0, 5, pred_taken=False))
+
+    def test_non_branch_is_not_taken(self):
+        assert not effective_taken(dyn_at(0))
+
+
+class TestType1:
+    def test_if_hammock_confirms_type1(self):
+        table, rec = make_learner()
+        table.load(branch_pc=10, target=14)
+        table.observe(branch_at(10, 14, pred_taken=False))  # NT instance
+        for pc in (11, 12, 13):
+            table.observe(dyn_at(pc))
+        table.observe(dyn_at(14))  # reached the target
+        assert len(rec.results) == 1
+        result = rec.results[0]
+        assert result.conv_type == 1
+        assert result.reconv_pc == 14
+        assert result.body_size == 3
+        assert not table.busy
+
+    def test_taken_instances_ignored_while_waiting(self):
+        table, rec = make_learner()
+        table.load(10, 14)
+        table.observe(branch_at(10, 14, pred_taken=True))  # wrong direction
+        table.observe(dyn_at(14))
+        assert not rec.results
+        assert table.busy
+
+
+class TestType2:
+    def _learn_if_else(self, table):
+        # layout: 10: branch ->14 | 11,12 NT body | 13: jmp 17 | 14-16 taken | 17 join
+        table.load(10, 14)
+        table.observe(branch_at(10, 14, pred_taken=False))
+        table.observe(dyn_at(11))
+        table.observe(dyn_at(12))
+        table.observe(jump_at(13, 17))  # jumper: target 17 > branch target 14
+        # validate on a taken instance
+        table.observe(branch_at(10, 14, pred_taken=True))
+        for pc in (14, 15, 16):
+            table.observe(dyn_at(pc))
+        table.observe(dyn_at(17))
+
+    def test_if_else_confirms_type2(self):
+        table, rec = make_learner()
+        self._learn_if_else(table)
+        assert len(rec.results) == 1
+        result = rec.results[0]
+        assert result.conv_type == 2
+        assert result.reconv_pc == 17
+        assert result.body_size > 0
+
+
+class TestType3:
+    def test_back_jumper_confirms_type3(self):
+        # layout: 10: branch ->20 | 11,12 NT body | 13 join | ... | 20,21 taken | 22: jmp 13
+        table, rec = make_learner(limit=10)
+        table.load(10, 20)
+        # T12 stage fails on the NT path (no target hit, no forward jumper)
+        table.observe(branch_at(10, 20, pred_taken=False))
+        for pc in range(11, 22):
+            table.observe(dyn_at(pc if pc < 20 else pc - 5))
+        # now in stage T3: scan a taken instance
+        table.observe(branch_at(10, 20, pred_taken=True))
+        table.observe(dyn_at(20))
+        table.observe(dyn_at(21))
+        table.observe(jump_at(22, 13))  # back-jumper: 10 < 13 < 20
+        # validate on a not-taken instance
+        table.observe(branch_at(10, 20, pred_taken=False))
+        table.observe(dyn_at(11))
+        table.observe(dyn_at(12))
+        table.observe(dyn_at(13))
+        assert len(rec.results) == 1
+        assert rec.results[0].conv_type == 3
+        assert rec.results[0].reconv_pc == 13
+
+
+class TestBackwardTransform:
+    def test_loop_branch_learned_via_figure4_transform(self):
+        """A backward branch at 20 targeting 15 is viewed as a forward
+        branch at 15 targeting 20 with inverted direction sense."""
+        table, rec = make_learner()
+        table.load(branch_pc=20, target=15)
+        assert table.backward
+        assert table.vpc == 15 and table.vtarget == 20
+        # real taken (loop continues) == virtual not-taken: scan the body
+        table.observe(branch_at(20, 15, pred_taken=True))
+        for pc in range(15, 20):
+            table.observe(dyn_at(pc))
+        # arriving back at the branch itself is the virtual-target arrival
+        table.observe(branch_at(20, 15, pred_taken=True))
+        assert rec.results and rec.results[0].conv_type == 1
+        assert rec.results[0].backward
+        assert rec.results[0].reconv_pc == 20
+        assert rec.results[0].body_size == 5
+
+
+class TestFailure:
+    def test_non_convergent_fails_after_both_stages(self):
+        table, rec = make_learner(limit=5)
+        table.load(10, 14)
+        # NT scan exhausts the limit without hitting the target
+        table.observe(branch_at(10, 14, pred_taken=False))
+        for pc in range(30, 36):
+            table.observe(dyn_at(pc))
+        assert table.busy  # moved to stage T3
+        # taken scan also exhausts the limit
+        table.observe(branch_at(10, 14, pred_taken=True))
+        for pc in range(40, 46):
+            table.observe(dyn_at(pc))
+        assert rec.failures == [10]
+        assert not table.busy
+
+    def test_single_entry_occupancy(self):
+        table, _ = make_learner()
+        table.load(10, 14)
+        with pytest.raises(RuntimeError):
+            table.load(20, 24)
+
+    def test_idle_observe_is_noop(self):
+        table, rec = make_learner()
+        table.observe(dyn_at(5))
+        assert not rec.results and not rec.failures
+
+    def test_storage_is_20_bytes(self):
+        assert LearningTable.storage_bits() == 160

@@ -1,0 +1,133 @@
+"""Tests for the ACB Table, criticality confidence, and tracking."""
+
+import pytest
+
+from repro.acb import AcbConfig, AcbTable, TrackingTable
+from repro.isa import Instruction, UopClass
+from repro.isa.dyninst import DynInst
+
+
+class TestAcbConfig:
+    def test_body_size_classes(self):
+        cfg = AcbConfig()
+        assert cfg.body_size_class(4) == 0
+        assert cfg.body_size_class(16) == 1
+        assert cfg.body_size_class(100) == len(cfg.body_size_classes) - 1
+
+    def test_required_rate_monotonic_in_body_size(self):
+        cfg = AcbConfig()
+        rates = [cfg.required_mispred_rate(s) for s in (4, 12, 20, 36, 80)]
+        assert rates == sorted(rates)
+
+    def test_reduced_scales_windows_only(self):
+        base, red = AcbConfig(), AcbConfig().reduced(10)
+        assert red.criticality_window < base.criticality_window
+        assert red.epoch_length < base.epoch_length
+        assert red.acb_sets == base.acb_sets
+        assert red.learning_limit == base.learning_limit
+
+    def test_reduced_invalid_scale(self):
+        with pytest.raises(ValueError):
+            AcbConfig().reduced(0)
+
+
+class TestAcbTable:
+    def test_allocate_and_lookup(self):
+        table = AcbTable()
+        entry = table.allocate(pc=100, conv_type=1, reconv_pc=110, body_size=6)
+        assert table.lookup(100) is entry
+        assert entry.body_class == 0
+        assert entry.required_m == pytest.approx(0.06)
+
+    def test_lookup_missing(self):
+        assert AcbTable().lookup(12345) is None
+
+    def test_first_direction_by_type(self):
+        table = AcbTable()
+        t1 = table.allocate(1, conv_type=1, reconv_pc=5, body_size=4)
+        t3 = table.allocate(2, conv_type=3, reconv_pc=6, body_size=4)
+        assert not t1.first_taken
+        assert t3.first_taken
+
+    def test_eviction_prefers_weakest_confidence(self):
+        cfg = AcbConfig()
+        table = AcbTable(cfg)
+        # fill one set (2 ways): PCs with the same index bits
+        a = table.allocate(0x10, 1, 0x20, 4)
+        b = table.allocate(0x10 + cfg.acb_sets, 1, 0x20, 4)
+        a.conf = 50
+        b.conf = 5
+        table.allocate(0x10 + 2 * cfg.acb_sets, 1, 0x20, 4)
+        assert table.lookup(0x10) is not None          # strong entry kept
+        assert table.lookup(0x10 + cfg.acb_sets) is None  # weak entry evicted
+
+    def test_train_increments_on_mispredict(self):
+        table = AcbTable()
+        entry = table.allocate(7, 1, 12, 6)
+        for _ in range(10):
+            table.train(7, mispredicted=True)
+        assert entry.conf == 10
+
+    def test_train_decrements_probabilistically(self):
+        table = AcbTable()
+        entry = table.allocate(7, 1, 12, 40)  # large body: high required m
+        entry.conf = 60
+        for _ in range(2000):
+            table.train(7, mispredicted=False)
+        assert entry.conf < 60  # decrements happened
+
+    def test_confidence_tracks_mispred_rate_vs_required(self):
+        """The Equation 1 discipline: confidence drifts up only when the
+        observed rate exceeds the body-size class requirement."""
+        cfg = AcbConfig()
+        table = AcbTable(cfg, seed=99)
+        hot = table.allocate(1, 1, 5, body_size=6)    # requires 6%
+        cold = table.allocate(2, 1, 5, body_size=6)
+        rng_state = 12345
+        for i in range(4000):
+            rng_state = (rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+            toss = (rng_state >> 8) / float(1 << 23)
+            table.train(1, mispredicted=toss < 0.25)   # 25% rate: hot
+            table.train(2, mispredicted=toss < 0.02)   # 2% rate: below m
+        assert table.confident(hot)
+        assert not table.confident(cold)
+
+    def test_reset_confidence(self):
+        table = AcbTable()
+        entry = table.allocate(7, 1, 12, 6)
+        entry.conf = 40
+        entry.reset_confidence()
+        assert entry.conf == 0
+
+    def test_storage_is_200_bytes(self):
+        assert AcbTable().storage_bits() == 32 * 50
+
+
+class TestTrackingTable:
+    def _dyn(self, pc):
+        return DynInst(0, Instruction(pc=pc, uop=UopClass.ALU, dst=1))
+
+    def test_validation_within_limit(self):
+        diverged = []
+        tracker = TrackingTable(limit=10, on_diverged=diverged.append)
+        tracker.arm(5, reconv_pc=9)
+        for pc in (6, 7, 8, 9):
+            tracker.observe(self._dyn(pc))
+        assert tracker.validations == 1
+        assert not diverged
+        assert not tracker.busy
+
+    def test_divergence_callback(self):
+        diverged = []
+        tracker = TrackingTable(limit=3, on_diverged=diverged.append)
+        tracker.arm(5, reconv_pc=99)
+        for pc in range(6, 12):
+            tracker.observe(self._dyn(pc))
+        assert diverged == [5]
+        assert tracker.divergences == 1
+
+    def test_single_entry(self):
+        tracker = TrackingTable(limit=10)
+        tracker.arm(5, 9)
+        tracker.arm(6, 11)  # ignored: busy
+        assert tracker.branch_pc == 5

@@ -1,0 +1,165 @@
+"""Tests for the DMP / DMP-PBH / DHP baselines and the compiler pass."""
+
+from repro.baselines import (
+    DhpConfig,
+    DhpScheme,
+    DmpConfig,
+    DmpPbhScheme,
+    DmpScheme,
+    profile_workload,
+)
+from repro.core import Core, SKYLAKE_LIKE
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+from tests.conftest import h2p_hammock_workload, predictable_workload
+
+
+def shape_workload(shape, train_shift=0.0, **kw):
+    spec = WorkloadSpec(
+        name=f"bl_{shape}",
+        category="test",
+        hammocks=(HammockSpec(shape=shape, taken_len=4, nt_len=4, p=0.4, **kw),),
+        ilp=2,
+        chain=1,
+        memory="strided",
+        train_shift=train_shift,
+    )
+    return build_workload(spec)
+
+
+class TestProfiler:
+    def test_rates_reflect_behavior(self):
+        workload = shape_workload("if")
+        profiles = profile_workload(workload, instructions=15_000)
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc in profiles
+        assert 0.25 < profiles[pc].mispred_rate < 0.60
+
+    def test_convergence_facts_attached(self):
+        workload = shape_workload("if_else")
+        profiles = profile_workload(workload, instructions=10_000)
+        pc = workload.program.cond_branch_pcs()[0]
+        prof = profiles[pc]
+        assert prof.conv_type == 2
+        assert prof.reconv_pc is not None
+        assert prof.body_size > 0
+
+    def test_profiles_training_input(self):
+        """With a train shift, profiled rates differ from the test input's."""
+        shifted = shape_workload("if", train_shift=-0.35)
+        profiles = profile_workload(shifted, instructions=15_000)
+        pc = shifted.program.cond_branch_pcs()[0]
+        # training input has p≈0.05: far more predictable than the test input
+        assert profiles[pc].mispred_rate < 0.15
+
+
+class TestDmpSelection:
+    def test_selects_h2p_convergent_branches(self):
+        workload = h2p_hammock_workload()
+        core = Core(workload, SKYLAKE_LIKE, scheme=DmpScheme())
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc in core.scheme.candidates
+
+    def test_ignores_predictable_branches(self):
+        workload = predictable_workload()
+        core = Core(workload, SKYLAKE_LIKE, scheme=DmpScheme())
+        assert not core.scheme.candidates
+
+    def test_profile_mismatch_misses_targets(self):
+        """Train/test input mismatch (Section II-B): a branch that is easy on
+        the training input never becomes a DMP candidate, so the test-input
+        mispredictions go unaddressed."""
+        workload = shape_workload("if", train_shift=-0.38)  # p_train ≈ 0.02
+        core = Core(workload, SKYLAKE_LIKE, scheme=DmpScheme())
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc not in core.scheme.candidates
+        stats = core.run(6_000)
+        assert stats.predicated_instances == 0
+        assert stats.mispredicts > 100
+
+
+class TestDmpRuntime:
+    def test_predicates_and_saves_flushes(self):
+        base = Core(h2p_hammock_workload(), SKYLAKE_LIKE).run(8_000)
+        core = Core(h2p_hammock_workload(), SKYLAKE_LIKE, scheme=DmpScheme())
+        stats = core.run(8_000)
+        assert stats.predicated_instances > 100
+        assert stats.flushes < base.flushes
+
+    def test_confidence_gate_spares_confident_instances(self):
+        """A moderately biased branch alternates between confident (normal
+        speculation) and unconfident (predicated) instances."""
+        workload = shape_workload("if")
+        spec_p = 0.15
+        workload = build_workload(WorkloadSpec(
+            name="gate", category="test",
+            hammocks=(HammockSpec(shape="if", nt_len=4, p=spec_p),),
+            ilp=2, chain=1, memory="none",
+        ))
+        core = Core(workload, SKYLAKE_LIKE, scheme=DmpScheme())
+        stats = core.run(10_000)
+        pc = workload.program.cond_branch_pcs()[0]
+        pcs = stats.per_branch[pc]
+        assert pcs.predicated > 0
+        assert pcs.predicated < pcs.executed  # some instances speculated
+
+    def test_select_uops_injected(self):
+        workload = h2p_hammock_workload()
+        core = Core(workload, SKYLAKE_LIKE, scheme=DmpScheme())
+        stats = core.run(8_000)
+        assert stats.retired_uops > stats.instructions  # selects + false path
+
+    def test_pbh_updates_history(self):
+        assert DmpPbhScheme.updates_history_on_predication
+        assert not DmpScheme.updates_history_on_predication
+
+    def test_storage_is_confidence_table_only(self):
+        scheme = DmpScheme()
+        assert scheme.storage_bytes() == DmpConfig().confidence_size * 4 / 8
+
+
+class TestDhp:
+    def test_accepts_simple_short_hammock(self):
+        workload = h2p_hammock_workload(body=3)
+        core = Core(workload, SKYLAKE_LIKE, scheme=DhpScheme())
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc in core.scheme.candidates
+
+    def test_rejects_store_in_body(self):
+        workload = shape_workload("if", store_in_body=True)
+        core = Core(workload, SKYLAKE_LIKE, scheme=DhpScheme())
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc not in core.scheme.candidates
+
+    def test_rejects_long_bodies(self):
+        workload = build_workload(WorkloadSpec(
+            name="long", category="test",
+            hammocks=(HammockSpec(shape="if", nt_len=20, p=0.4),),
+            ilp=1, chain=1, memory="none",
+        ))
+        core = Core(workload, SKYLAKE_LIKE, scheme=DhpScheme())
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc not in core.scheme.candidates
+
+    def test_rejects_type3(self):
+        workload = shape_workload("type3")
+        core = Core(workload, SKYLAKE_LIKE, scheme=DhpScheme())
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc not in core.scheme.candidates
+
+    def test_config_tightens_body_limit(self):
+        assert DhpConfig().max_body_size < DmpConfig().max_body_size
+
+    def test_coverage_below_dmp(self):
+        """DHP's restriction translates into lower coverage on a kernel with
+        one simple and one complex hammock."""
+        spec = WorkloadSpec(
+            name="cover", category="test",
+            hammocks=(
+                HammockSpec(shape="if", nt_len=3, p=0.4),
+                HammockSpec(shape="type3", taken_len=5, nt_len=5, p=0.4),
+            ),
+            ilp=2, chain=1, memory="none",
+        )
+        dmp = Core(build_workload(spec), SKYLAKE_LIKE, scheme=DmpScheme())
+        dhp = Core(build_workload(spec), SKYLAKE_LIKE, scheme=DhpScheme())
+        assert len(dhp.scheme.candidates) < len(dmp.scheme.candidates)

@@ -1,0 +1,184 @@
+"""Tests for the stochastic behaviour processes."""
+
+import pytest
+
+from repro.workloads import (
+    Bernoulli,
+    Correlated,
+    LoopTrip,
+    Periodic,
+    Phased,
+    Strided,
+    UniformRandom,
+    WorkloadState,
+)
+from repro.workloads.behaviors import make_default_mem, resolve_branch
+
+
+class TestWorkloadState:
+    def test_deterministic_given_seed(self):
+        a, b = WorkloadState(42), WorkloadState(42)
+        assert [a.rand_u64() for _ in range(20)] == [b.rand_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        assert WorkloadState(1).rand_u64() != WorkloadState(2).rand_u64()
+
+    def test_rand01_in_unit_interval(self):
+        st = WorkloadState(7)
+        for _ in range(1000):
+            assert 0.0 <= st.rand01() < 1.0
+
+    def test_randint_range(self):
+        st = WorkloadState(7)
+        for _ in range(1000):
+            assert 0 <= st.randint(13) < 13
+
+    def test_snapshot_restore_replays_stream(self):
+        st = WorkloadState(9)
+        st.rand_u64()
+        snap = st.snapshot()
+        first = [st.rand_u64() for _ in range(10)]
+        st.restore(snap)
+        assert [st.rand_u64() for _ in range(10)] == first
+
+    def test_snapshot_isolates_dicts(self):
+        st = WorkloadState(9)
+        st.last["x"] = True
+        st.vars["y"] = (1,)
+        snap = st.snapshot()
+        st.last["x"] = False
+        st.vars["y"] = (2,)
+        st.restore(snap)
+        assert st.last["x"] is True
+        assert st.vars["y"] == (1,)
+
+
+class TestBernoulli:
+    def test_rate_close_to_p(self):
+        st = WorkloadState(3)
+        beh = Bernoulli("b", 0.3)
+        taken = sum(beh.resolve(st) for _ in range(20_000))
+        assert 0.27 < taken / 20_000 < 0.33
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Bernoulli("b", 1.5)
+
+    def test_records_last_outcome(self):
+        st = WorkloadState(3)
+        beh = Bernoulli("b", 0.5)
+        outcome = beh.resolve(st)
+        assert st.last["b"] == outcome
+
+
+class TestCorrelated:
+    def test_perfect_agreement(self):
+        st = WorkloadState(5)
+        lead = Bernoulli("lead", 0.5)
+        follow = Correlated("follow", "lead")
+        for _ in range(200):
+            expected = lead.resolve(st)
+            assert follow.resolve(st) == expected
+
+    def test_inverted(self):
+        st = WorkloadState(5)
+        lead = Bernoulli("lead", 0.5)
+        follow = Correlated("follow", "lead", invert=True)
+        for _ in range(200):
+            expected = lead.resolve(st)
+            assert follow.resolve(st) == (not expected)
+
+    def test_partial_agreement(self):
+        st = WorkloadState(5)
+        lead = Bernoulli("lead", 0.5)
+        follow = Correlated("follow", "lead", agree=0.8)
+        agreements = 0
+        for _ in range(10_000):
+            expected = lead.resolve(st)
+            agreements += follow.resolve(st) == expected
+        assert 0.77 < agreements / 10_000 < 0.83
+
+    def test_default_before_source_seen(self):
+        st = WorkloadState(5)
+        assert Correlated("f", "missing").resolve(st) is False
+
+
+class TestPeriodic:
+    def test_cycles_pattern(self):
+        st = WorkloadState(1)
+        beh = Periodic("p", (True, False, False))
+        out = [beh.resolve(st) for _ in range(9)]
+        assert out == [True, False, False] * 3
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Periodic("p", ())
+
+
+class TestLoopTrip:
+    def test_fixed_trip_count(self):
+        st = WorkloadState(1)
+        beh = LoopTrip("l", trips=4)
+        out = [beh.resolve(st) for _ in range(8)]
+        assert out == [True, True, True, False] * 2
+
+    def test_jitter_varies_trips(self):
+        st = WorkloadState(1)
+        beh = LoopTrip("l", trips=6, jitter=3)
+        lengths = []
+        count = 0
+        for _ in range(4000):
+            if beh.resolve(st):
+                count += 1
+            else:
+                lengths.append(count + 1)
+                count = 0
+        assert min(lengths) < 6 < max(lengths) + 1
+        assert len(set(lengths)) > 1
+
+    def test_invalid_trips(self):
+        with pytest.raises(ValueError):
+            LoopTrip("l", trips=0)
+
+
+class TestPhased:
+    def test_rate_shifts_between_phases(self):
+        st = WorkloadState(1)
+        beh = Phased("p", ((1000, 0.9), (1000, 0.1)))
+        first = sum(beh.resolve(st) for _ in range(1000)) / 1000
+        second = sum(beh.resolve(st) for _ in range(1000)) / 1000
+        assert first > 0.8 and second < 0.2
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            Phased("p", ())
+
+
+class TestMemBehaviors:
+    def test_strided_advances(self):
+        st = WorkloadState(1)
+        beh = Strided("m", base=0, stride=64, span=256)
+        addrs = [beh.address(st) for _ in range(6)]
+        assert addrs == [0, 64, 128, 192, 0, 64]
+
+    def test_uniform_random_in_span(self):
+        st = WorkloadState(1)
+        beh = UniformRandom("m", base=1 << 20, span=4096)
+        for _ in range(100):
+            addr = beh.address(st)
+            assert 1 << 20 <= addr < (1 << 20) + 4096 + 64
+
+    def test_default_mem_unique_per_pc(self):
+        a, b = make_default_mem(3), make_default_mem(4)
+        st = WorkloadState(1)
+        assert a.address(st) != b.address(st)
+
+
+class TestResolveBranch:
+    def test_missing_behavior_raises(self):
+        with pytest.raises(KeyError):
+            resolve_branch({}, "nope", WorkloadState(1))
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_branch({"m": Strided("m", 0)}, "m", WorkloadState(1))

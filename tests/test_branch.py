@@ -1,0 +1,181 @@
+"""Tests for the branch-prediction substrate."""
+
+import pytest
+
+from repro.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    ConfidenceEstimator,
+    GlobalHistory,
+    GSharePredictor,
+    OraclePredictor,
+    TagePredictor,
+    make_predictor,
+)
+from repro.workloads import Bernoulli, Correlated, Periodic, WorkloadState
+
+
+def train_inorder(bp, behaviors, n, seed=3):
+    """Run behaviours through a predictor with in-order resolution."""
+    st = WorkloadState(seed)
+    wrong = {b.name: 0 for b in behaviors}
+    total = {b.name: 0 for b in behaviors}
+    for _ in range(n):
+        for i, beh in enumerate(behaviors):
+            pc = 64 + i * 17
+            taken = beh.resolve(st)
+            pred = bp.predict(pc)
+            cp = bp.checkpoint()
+            bp.spec_push(pc, pred.taken)
+            if pred.taken != taken:
+                bp.restore(cp, pc, taken)
+                wrong[beh.name] += 1
+            bp.update(pc, taken, pred.meta, pred.taken != taken)
+            total[beh.name] += 1
+    return {k: wrong[k] / total[k] for k in wrong}
+
+
+class TestGlobalHistory:
+    def test_push_and_recent(self):
+        h = GlobalHistory(8)
+        for bit in (True, False, True):
+            h.push(bit)
+        assert h.recent(3) == 0b101
+
+    def test_bounded_length(self):
+        h = GlobalHistory(4)
+        for _ in range(100):
+            h.push(True)
+        assert h.bits == 0b1111
+
+    def test_checkpoint_restore(self):
+        h = GlobalHistory(16)
+        h.push(True)
+        cp = h.checkpoint()
+        h.push(False)
+        h.restore(cp)
+        assert h.bits == cp
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(0)
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        rates = train_inorder(BimodalPredictor(), [Bernoulli("b", 0.9)], 3000)
+        assert rates["b"] < 0.15
+
+    def test_cannot_learn_patterns(self):
+        rates = train_inorder(BimodalPredictor(), [Periodic("p", (True, False))], 3000)
+        assert rates["p"] > 0.4
+
+
+class TestGShare:
+    def test_learns_short_patterns(self):
+        rates = train_inorder(GSharePredictor(), [Periodic("p", (True, True, False))], 5000)
+        assert rates["p"] < 0.05
+
+    def test_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(size=1000)
+
+
+class TestTage:
+    def test_learns_periodic_nearly_perfectly(self):
+        rates = train_inorder(TagePredictor(), [Periodic("p", (True, True, False, False, True))], 5000)
+        assert rates["p"] < 0.02
+
+    def test_learns_correlation_through_history(self):
+        """The Fig. 2(b) pair: the follower becomes predictable only because
+        the leader's outcome is in the global history."""
+        rates = train_inorder(
+            TagePredictor(),
+            [Bernoulli("lead", 0.5), Correlated("follow", "lead")],
+            6000,
+        )
+        assert rates["lead"] > 0.35       # leader is genuinely hard
+        assert rates["follow"] < 0.05     # follower rides the history
+
+    def test_noise_stays_near_entropy_floor(self):
+        rates = train_inorder(TagePredictor(), [Bernoulli("b", 0.25)], 8000)
+        assert rates["b"] < 0.40  # no worse than a mildly noisy bimodal
+
+    def test_checkpoint_restore_roundtrip(self):
+        bp = TagePredictor()
+        bp.spec_push(0, True)
+        cp = bp.checkpoint()
+        bp.spec_push(0, False)
+        bp.restore(cp, 0, True)
+        assert bp.hist.recent(2) == 0b11
+
+    def test_restore_without_outcome(self):
+        bp = TagePredictor()
+        bp.spec_push(0, True)
+        cp = bp.checkpoint()
+        bp.spec_push(0, False)
+        bp.restore(cp, 0, None)
+        assert bp.hist.bits == cp
+
+    def test_allocation_on_mispredicts(self):
+        bp = TagePredictor()
+        train_inorder(bp, [Bernoulli("b", 0.5)], 2000)
+        assert sum(bp.tagged_occupancy()) > 0
+
+    def test_storage_accounted(self):
+        assert TagePredictor().storage_bits() > 8 * 1024
+
+
+class TestOracle:
+    def test_always_right(self):
+        bp = OraclePredictor()
+        assert bp.predict(0, actual=True).taken is True
+        assert bp.predict(0, actual=False).taken is False
+
+
+class TestConfidence:
+    def test_confident_after_streak(self):
+        est = ConfidenceEstimator(threshold=4)
+        for _ in range(4):
+            est.train(10, correct=True)
+        assert est.is_confident(10)
+
+    def test_reset_on_mispredict(self):
+        est = ConfidenceEstimator(threshold=4)
+        for _ in range(10):
+            est.train(10, correct=True)
+        est.train(10, correct=False)
+        assert not est.is_confident(10)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(size=100)
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(threshold=0)
+
+
+class TestBtb:
+    def test_hit_after_insert(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert not btb.lookup(5)
+        btb.insert(5, 100)
+        assert btb.lookup(5)
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.insert(0, 1)
+        btb.insert(16, 1)
+        btb.lookup(0)          # make 0 most recent
+        btb.insert(32, 1)      # evicts 16
+        assert btb.lookup(0)
+        assert not btb.lookup(16)
+
+
+class TestFactory:
+    def test_all_registered(self):
+        for name in ("bimodal", "gshare", "tage", "oracle"):
+            assert make_predictor(name) is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_predictor("neural")

@@ -1,0 +1,123 @@
+"""Tests for CFG analysis: reconvergence, post-dominance, hammock shapes.
+
+These use the workload generator's shapes so the "compiler" analysis is
+tested against the exact layouts the suite produces.
+"""
+
+import pytest
+
+from repro.program import (
+    ProgramBuilder,
+    classify_hammock,
+    find_guaranteed_reconvergence,
+    find_reconvergence,
+)
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+
+
+def shape_program(shape, **kw):
+    spec = WorkloadSpec(
+        name=f"cfgtest_{shape}",
+        category="test",
+        hammocks=(HammockSpec(shape=shape, taken_len=4, nt_len=4, p=0.4, **kw),),
+        ilp=1,
+        chain=1,
+        memory="none",
+    )
+    return build_workload(spec).program
+
+
+def only_h2p_branch(program):
+    """The hammock branch is the first conditional branch."""
+    return program.cond_branch_pcs()[0]
+
+
+class TestFindReconvergence:
+    def test_if_reconverges_at_target(self):
+        program = shape_program("if")
+        pc = only_h2p_branch(program)
+        assert find_reconvergence(program, pc) == program[pc].target
+
+    def test_if_else_reconverges_past_target(self):
+        program = shape_program("if_else")
+        pc = only_h2p_branch(program)
+        reconv = find_reconvergence(program, pc)
+        assert reconv is not None
+        assert reconv > program[pc].target
+
+    def test_type3_reconverges_between_branch_and_target(self):
+        program = shape_program("type3")
+        pc = only_h2p_branch(program)
+        reconv = find_reconvergence(program, pc)
+        assert reconv is not None
+        assert pc < reconv < program[pc].target
+
+    def test_nested_still_reconverges_at_target(self):
+        program = shape_program("nested")
+        pc = only_h2p_branch(program)
+        assert find_reconvergence(program, pc) == program[pc].target
+
+    def test_non_branch_raises(self):
+        program = shape_program("if")
+        with pytest.raises(ValueError):
+            find_reconvergence(program, 0)
+
+    def test_unreachable_within_window_returns_none(self):
+        program = shape_program("if")
+        pc = only_h2p_branch(program)
+        assert find_reconvergence(program, pc, max_dist=1) is None
+
+
+class TestGuaranteedReconvergence:
+    def test_plain_shapes_match_plain_analysis(self):
+        for shape in ("if", "if_else", "type3"):
+            program = shape_program(shape)
+            pc = only_h2p_branch(program)
+            assert find_guaranteed_reconvergence(program, pc) == find_reconvergence(
+                program, pc
+            )
+
+    def test_multi_exit_guaranteed_point_is_beyond_the_bypassable_join(self):
+        """The B1 pattern: the branch target (the near join) can be bypassed
+        by the escape edge, so it is NOT a guaranteed merge point — the
+        compiler must pick a point beyond it."""
+        program = shape_program("multi_exit")
+        pc = only_h2p_branch(program)
+        near_join = program[pc].target
+        guaranteed = find_guaranteed_reconvergence(program, pc)
+        assert guaranteed is not None
+        assert guaranteed > near_join
+        # the hardware's Type-1 scan would confirm the near join instead —
+        # exactly the coverage gap DMP's compiler analysis closes (Fig. 8 B1)
+        plain = find_reconvergence(program, pc)
+        assert plain is not None
+
+
+class TestClassifyHammock:
+    def test_if_is_simple(self):
+        program = shape_program("if")
+        info = classify_hammock(program, only_h2p_branch(program))
+        assert info.simple
+        assert info.taken_len == 0
+        assert info.not_taken_len == 4
+        assert not info.if_else
+        assert info.body_size == 4
+
+    def test_if_else_sides(self):
+        program = shape_program("if_else")
+        info = classify_hammock(program, only_h2p_branch(program))
+        assert info.if_else
+        assert info.taken_len == 4
+        # the jumper at the end of the NT side counts toward its length
+        assert info.not_taken_len == 5
+
+    def test_store_detected(self):
+        program = shape_program("if", store_in_body=True)
+        info = classify_hammock(program, only_h2p_branch(program))
+        assert info.has_store
+
+    def test_nested_not_simple(self):
+        program = shape_program("nested")
+        info = classify_hammock(program, only_h2p_branch(program))
+        assert info is not None
+        assert not info.simple

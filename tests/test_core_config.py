@@ -1,0 +1,47 @@
+"""Tests for core configuration (Table II) and scaling."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import CoreConfig, SKYLAKE_LIKE, scaled
+
+
+class TestCoreConfig:
+    def test_default_is_valid(self):
+        SKYLAKE_LIKE.validate()
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            replace(SKYLAKE_LIKE, alloc_width=0).validate()
+
+    def test_empty_ports_rejected(self):
+        with pytest.raises(ValueError):
+            replace(SKYLAKE_LIKE, ports={}).validate()
+
+    def test_table_mentions_key_parameters(self):
+        table = SKYLAKE_LIKE.table()
+        assert "TAGE" in table["Branch predictor"]
+        assert "224" in table["ROB / IQ"]
+        assert any("GHz" in v for v in table.values())
+
+
+class TestScaling:
+    def test_identity_scale(self):
+        assert scaled(1) is SKYLAKE_LIKE
+
+    def test_scale_two_doubles_widths(self):
+        cfg = scaled(2)
+        assert cfg.alloc_width == SKYLAKE_LIKE.alloc_width * 2
+        assert cfg.fetch_width == SKYLAKE_LIKE.fetch_width * 2
+        assert cfg.rob_size == SKYLAKE_LIKE.rob_size * 2
+        assert cfg.ports["alu"] == SKYLAKE_LIKE.ports["alu"] * 2
+        cfg.validate()
+
+    def test_section_5d_machine_is_8_wide(self):
+        # "8-wide with twice the execution/fetch resources"
+        assert scaled(2).alloc_width == 8
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled(0)

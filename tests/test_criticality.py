@@ -1,0 +1,81 @@
+"""Tests for the Fields-style criticality analysis (Section II-A)."""
+
+import networkx as nx
+
+from repro.core import Core, SKYLAKE_LIKE
+from repro.criticality import (
+    build_ddg,
+    classify_mispredictions,
+    critical_seqs,
+    longest_path,
+)
+from tests.conftest import chase_workload, h2p_hammock_workload
+
+
+def retired_log(workload, n=4000, cap=6000):
+    core = Core(workload, SKYLAKE_LIKE)
+    log = core.enable_retire_log(cap)
+    core.run(n)
+    return core, log
+
+
+class TestDdg:
+    def test_graph_is_a_dag(self):
+        core, log = retired_log(h2p_hammock_workload(), 1500, 2000)
+        build = build_ddg(log[:500], core.config.flush_latency)
+        assert nx.is_directed_acyclic_graph(build.graph)
+
+    def test_nodes_per_instruction(self):
+        core, log = retired_log(h2p_hammock_workload(), 1000, 1500)
+        window = log[:200]
+        build = build_ddg(window, core.config.flush_latency)
+        assert build.graph.number_of_nodes() == 3 * len(window)
+
+    def test_longest_path_spans_window(self):
+        core, log = retired_log(h2p_hammock_workload(), 1500, 2000)
+        build = build_ddg(log[:500], core.config.flush_latency)
+        path = longest_path(build)
+        assert len(path) > 10
+        seqs = critical_seqs(build)
+        assert seqs
+
+    def test_control_edges_present_for_mispredicts(self):
+        core, log = retired_log(h2p_hammock_workload(p=0.5), 2000, 3000)
+        build = build_ddg(log, core.config.flush_latency)
+        kinds = {d["kind"] for _, _, d in build.graph.edges(data=True)}
+        assert "control" in kinds
+        assert "data" in kinds
+
+
+class TestMispredictionCriticality:
+    def test_empty_log(self):
+        report = classify_mispredictions([], 14)
+        assert report.mispredicts_total == 0
+        assert report.critical_fraction == 0.0
+
+    def test_branch_bound_kernel_has_critical_mispredicts(self):
+        """lammps-style: flushes gate the loop, so they are critical."""
+        core, log = retired_log(h2p_hammock_workload(p=0.45, ilp=0, with_mem=False), 4000)
+        report = classify_mispredictions(log, core.config.flush_latency)
+        assert report.mispredicts_total > 100
+        assert report.critical_fraction > 0.3
+
+    def test_memory_bound_kernel_shadows_mispredicts(self):
+        """soplex-style: the pointer chase dominates; most mispredictions
+        resolve in its shadow (Section V-A)."""
+        core, log = retired_log(chase_workload(), 2500, 4000)
+        report = classify_mispredictions(log, core.config.flush_latency)
+        assert report.mispredicts_total > 50
+        assert report.critical_fraction < 0.2
+        assert report.edge_kinds["data"] > 0
+
+    def test_shadowing_contrast(self):
+        """The same H2P branch is critical without the chase and shadowed
+        with it."""
+        core_a, log_a = retired_log(
+            h2p_hammock_workload(p=0.4, ilp=0, with_mem=False), 3000
+        )
+        hot = classify_mispredictions(log_a, core_a.config.flush_latency)
+        core_b, log_b = retired_log(chase_workload(), 2500, 4000)
+        cold = classify_mispredictions(log_b, core_b.config.flush_latency)
+        assert hot.critical_fraction > cold.critical_fraction

@@ -1,0 +1,162 @@
+"""Tests for the Dynamo performance monitor (Section III-C, Figure 5)."""
+
+from dataclasses import replace
+
+from repro.acb import (
+    AcbConfig,
+    AcbTable,
+    BAD,
+    Dynamo,
+    GOOD,
+    LIKELY_BAD,
+    LIKELY_GOOD,
+    NEUTRAL,
+)
+
+
+def make_dynamo(epoch=100, factor=0.125, involvement_bits=4, reset=0):
+    cfg = replace(
+        AcbConfig(),
+        epoch_length=epoch,
+        cycle_change_factor=factor,
+        involvement_bits=involvement_bits,
+        dynamo_reset_interval=reset,
+    )
+    table = AcbTable(cfg)
+    return Dynamo(cfg, table), table
+
+
+def run_epoch(dynamo, cycles_per_instr):
+    """Retire one epoch's worth of instructions at a given CPI."""
+    start = dynamo.epoch_start_cycle
+    for i in range(dynamo.config.epoch_length):
+        cycle = start + int((i + 1) * cycles_per_instr)
+        dynamo.on_retire(cycle)
+
+
+def saturate_involvement(dynamo, entry):
+    for _ in range(20):
+        dynamo.note_instance(entry)
+
+
+class TestEpochs:
+    def test_epoch_parity_alternates(self):
+        dynamo, _ = make_dynamo()
+        assert dynamo.measuring_off          # epoch 1 = odd = ACB mostly off
+        run_epoch(dynamo, 1.0)
+        assert not dynamo.measuring_off
+        run_epoch(dynamo, 1.0)
+        assert dynamo.measuring_off
+
+    def test_enable_policy_by_state_and_parity(self):
+        dynamo, table = make_dynamo()
+        entry = table.allocate(1, 1, 5, 4)
+        # odd epoch: only GOOD entries run
+        entry.fsm = NEUTRAL
+        assert not dynamo.enabled(entry)
+        entry.fsm = GOOD
+        assert dynamo.enabled(entry)
+        run_epoch(dynamo, 1.0)  # now even
+        entry.fsm = NEUTRAL
+        assert dynamo.enabled(entry)
+        entry.fsm = BAD
+        assert not dynamo.enabled(entry)
+
+    def test_disabled_dynamo_always_enables(self):
+        dynamo, table = make_dynamo()
+        dynamo.config = replace(dynamo.config, dynamo_enabled=False)
+        entry = table.allocate(1, 1, 5, 4)
+        entry.fsm = BAD
+        assert dynamo.enabled(entry)
+
+
+class TestPairEvaluation:
+    def test_bad_transition_on_slowdown(self):
+        dynamo, table = make_dynamo()
+        entry = table.allocate(1, 1, 5, 4)
+        run_epoch(dynamo, 1.0)              # off epoch: 100 cycles
+        saturate_involvement(dynamo, entry)
+        run_epoch(dynamo, 2.0)              # on epoch: 200 cycles (worse)
+        assert entry.fsm == LIKELY_BAD
+
+    def test_good_transition_on_speedup(self):
+        dynamo, table = make_dynamo()
+        entry = table.allocate(1, 1, 5, 4)
+        run_epoch(dynamo, 2.0)
+        saturate_involvement(dynamo, entry)
+        run_epoch(dynamo, 1.0)
+        assert entry.fsm == LIKELY_GOOD
+
+    def test_final_states_reached_after_consecutive_pairs(self):
+        dynamo, table = make_dynamo()
+        entry = table.allocate(1, 1, 5, 4)
+        for _ in range(2):
+            run_epoch(dynamo, 1.0)
+            saturate_involvement(dynamo, entry)
+            run_epoch(dynamo, 2.0)
+        assert entry.fsm == BAD
+
+    def test_final_states_absorbing(self):
+        dynamo, table = make_dynamo()
+        entry = table.allocate(1, 1, 5, 4)
+        entry.fsm = BAD
+        run_epoch(dynamo, 2.0)
+        saturate_involvement(dynamo, entry)
+        run_epoch(dynamo, 1.0)   # huge improvement, but BAD stays
+        assert entry.fsm == BAD
+
+    def test_within_threshold_no_transition(self):
+        dynamo, table = make_dynamo(factor=0.125)
+        entry = table.allocate(1, 1, 5, 4)
+        run_epoch(dynamo, 1.0)
+        saturate_involvement(dynamo, entry)
+        run_epoch(dynamo, 1.05)  # +5% < 12.5% threshold
+        assert entry.fsm == NEUTRAL
+
+    def test_unsaturated_involvement_blocks_transition(self):
+        dynamo, table = make_dynamo()
+        entry = table.allocate(1, 1, 5, 4)
+        run_epoch(dynamo, 1.0)
+        dynamo.note_instance(entry)  # far below saturation
+        run_epoch(dynamo, 3.0)
+        assert entry.fsm == NEUTRAL
+
+    def test_involvement_reset_every_pair(self):
+        dynamo, table = make_dynamo()
+        entry = table.allocate(1, 1, 5, 4)
+        run_epoch(dynamo, 1.0)
+        saturate_involvement(dynamo, entry)
+        run_epoch(dynamo, 1.0)
+        assert entry.involvement == 0
+
+
+class TestReset:
+    def test_periodic_reset_restores_neutral(self):
+        dynamo, table = make_dynamo(epoch=100, reset=400)
+        entry = table.allocate(1, 1, 5, 4)
+        entry.fsm = BAD
+        for _ in range(4):
+            run_epoch(dynamo, 1.0)
+        assert entry.fsm == NEUTRAL
+        assert entry.involvement == 0
+
+    def test_state_histogram(self):
+        dynamo, table = make_dynamo()
+        a = table.allocate(1, 1, 5, 4)
+        b = table.allocate(2, 1, 6, 4)
+        a.fsm, b.fsm = GOOD, BAD
+        hist = dynamo.state_histogram()
+        assert hist[GOOD] == 1 and hist[BAD] == 1 and sum(hist) == 2
+
+
+class TestSaturation:
+    def test_cycle_counter_saturates_at_18_bits(self):
+        dynamo, table = make_dynamo(epoch=10)
+        entry = table.allocate(1, 1, 5, 4)
+        run_epoch(dynamo, 1.0)
+        saturate_involvement(dynamo, entry)
+        # astronomically slow on-epoch: counter clamps, still evaluates BAD-ward
+        start = dynamo.epoch_start_cycle
+        for i in range(10):
+            dynamo.on_retire(start + (i + 1) * 1_000_000)
+        assert entry.fsm == LIKELY_BAD

@@ -1,0 +1,126 @@
+"""Integration tests of the OOO core without predication."""
+
+import pytest
+
+from repro.core import Core, DeadlockError, SKYLAKE_LIKE, scaled
+from tests.conftest import chase_workload, h2p_hammock_workload, predictable_workload
+
+
+class TestBasicExecution:
+    def test_runs_to_instruction_budget(self):
+        core = Core(h2p_hammock_workload(), SKYLAKE_LIKE)
+        stats = core.run(3000)
+        assert stats.instructions >= 3000
+        assert stats.cycles > 0
+        assert 0.05 < stats.ipc < 6.0
+
+    def test_retired_uops_match_architectural_count_without_predication(self):
+        core = Core(h2p_hammock_workload(), SKYLAKE_LIKE)
+        stats = core.run(3000)
+        assert stats.retired_uops == stats.instructions
+
+    def test_deterministic(self):
+        a = Core(h2p_hammock_workload(seed=5), SKYLAKE_LIKE).run(3000)
+        b = Core(h2p_hammock_workload(seed=5), SKYLAKE_LIKE).run(3000)
+        assert a.cycles == b.cycles
+        assert a.flushes == b.flushes
+
+    def test_seed_changes_execution(self):
+        a = Core(h2p_hammock_workload(seed=5), SKYLAKE_LIKE).run(3000)
+        b = Core(h2p_hammock_workload(seed=6), SKYLAKE_LIKE).run(3000)
+        assert a.cycles != b.cycles
+
+
+class TestBranchHandling:
+    def test_h2p_branch_flushes(self):
+        stats = Core(h2p_hammock_workload(p=0.4), SKYLAKE_LIKE).run(4000)
+        assert stats.mispredicts > 50
+        assert stats.flushes == stats.mispredicts
+
+    def test_predictable_branch_rarely_flushes(self):
+        stats = Core(predictable_workload(), SKYLAKE_LIKE).run(4000)
+        assert stats.mispredicts < 20
+
+    def test_oracle_predictor_never_flushes(self):
+        core = Core(h2p_hammock_workload(), SKYLAKE_LIKE, predictor="oracle")
+        stats = core.run(4000)
+        assert stats.mispredicts == 0
+        assert stats.wrong_path_allocated == 0
+
+    def test_oracle_faster_than_tage_on_h2p(self):
+        tage = Core(h2p_hammock_workload(), SKYLAKE_LIKE).run(4000)
+        oracle = Core(h2p_hammock_workload(), SKYLAKE_LIKE, predictor="oracle").run(4000)
+        assert oracle.cycles < tage.cycles
+
+    def test_wrong_path_work_is_modeled(self):
+        stats = Core(h2p_hammock_workload(p=0.5), SKYLAKE_LIKE).run(4000)
+        assert stats.wrong_path_allocated > 0
+        assert stats.allocated > stats.retired_uops
+
+    def test_per_branch_stats_accumulate(self):
+        workload = h2p_hammock_workload(p=0.4)
+        stats = Core(workload, SKYLAKE_LIKE).run(4000)
+        branch_pc = workload.program.cond_branch_pcs()[0]
+        pcs = stats.per_branch[branch_pc]
+        assert pcs.executed > 100
+        assert 0.2 < pcs.mispred_rate < 0.6
+
+
+class TestMemorySystem:
+    def test_chase_workload_is_memory_bound(self):
+        stats = Core(chase_workload(), SKYLAKE_LIKE).run(2000)
+        assert stats.avg_load_latency > 100
+        assert stats.ipc < 0.3
+
+    def test_cached_workload_has_low_load_latency(self):
+        # strided streams settle into the caches; wrong-path loads and the
+        # cold-start misses keep the average above the pure L1 latency.
+        stats = Core(h2p_hammock_workload(), SKYLAKE_LIKE).run(4000)
+        assert stats.avg_load_latency < 80
+
+    def test_loads_and_stores_counted(self):
+        stats = Core(h2p_hammock_workload(), SKYLAKE_LIKE).run(3000)
+        assert stats.loads > 0
+        assert stats.stores > 0
+
+
+class TestScaledCore:
+    def test_wider_core_is_faster_on_ilp(self):
+        narrow = Core(h2p_hammock_workload(ilp=8), SKYLAKE_LIKE).run(4000)
+        wide = Core(h2p_hammock_workload(ilp=8), scaled(2)).run(4000)
+        assert wide.cycles < narrow.cycles
+
+    def test_oracle_gain_grows_with_scale(self):
+        """The Figure 1 trend at micro scale: on an ILP-rich branchy kernel,
+        scaling the machine makes it increasingly speculation-bound."""
+        def gain(scale):
+            cfg = scaled(scale)
+            base = Core(h2p_hammock_workload(ilp=16, with_mem=False), cfg).run(4000)
+            oracle = Core(
+                h2p_hammock_workload(ilp=16, with_mem=False), cfg, predictor="oracle"
+            ).run(4000)
+            return base.cycles / oracle.cycles
+
+        assert gain(3) > gain(1) > 1.0
+
+
+class TestWindows:
+    def test_run_window_measures_fresh_stats(self):
+        core = Core(h2p_hammock_workload(), SKYLAKE_LIKE)
+        stats = core.run_window(warmup=1000, measure=2000)
+        assert stats.instructions >= 2000
+        assert stats.cycles < core.cycle  # window excludes warm-up cycles
+
+    def test_reset_stats_clears_counters(self):
+        core = Core(h2p_hammock_workload(), SKYLAKE_LIKE)
+        core.run(1000)
+        fresh = core.reset_stats()
+        assert fresh.instructions == 0
+        assert core.stats is fresh
+
+
+class TestDeadlockDetection:
+    def test_cycle_cap_raises(self):
+        core = Core(chase_workload(), SKYLAKE_LIKE)
+        with pytest.raises(DeadlockError):
+            core.run(2000, max_cycles=10)

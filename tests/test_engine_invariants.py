@@ -1,0 +1,89 @@
+"""Property-based end-to-end invariants: random workload specs through the
+generator and the core, under every scheme, must preserve the simulator's
+global invariants (forward progress, consistent accounting)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.acb import AcbScheme
+from repro.baselines import DhpScheme, DmpScheme
+from repro.core import Core, SKYLAKE_LIKE
+from repro.harness.runner import reduced_acb_config
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+
+hammock_strategy = st.builds(
+    HammockSpec,
+    shape=st.sampled_from(["if", "if_else", "type3", "nested", "multi_exit"]),
+    taken_len=st.integers(1, 8),
+    nt_len=st.integers(1, 8),
+    p=st.floats(0.05, 0.5),
+    store_in_body=st.booleans(),
+    followers=st.integers(0, 1),
+    slow_source=st.booleans(),
+    join_feeds_chain=st.booleans(),
+    live_outs=st.integers(1, 4),
+)
+
+spec_strategy = st.builds(
+    WorkloadSpec,
+    name=st.just("fuzz"),
+    category=st.just("test"),
+    seed=st.integers(1, 1 << 40),
+    hammocks=st.lists(hammock_strategy, min_size=1, max_size=2).map(tuple),
+    ilp=st.integers(0, 6),
+    chain=st.integers(1, 3),
+    memory=st.sampled_from(["none", "strided", "random"]),
+    mem_span_kb=st.sampled_from([64, 1024]),
+)
+
+
+def check_invariants(stats, budget):
+    assert stats.instructions >= budget
+    assert stats.cycles > 0
+    assert stats.retired_uops >= stats.instructions
+    assert stats.allocated >= stats.retired_uops
+    # select micro-ops are injected at rename rather than fetched
+    assert stats.fetched + stats.select_uops >= stats.allocated
+    assert stats.mispredicts <= stats.branches
+    assert stats.flushes == stats.mispredicts + stats.divergence_flushes
+
+
+class TestRandomWorkloads:
+    @given(spec=spec_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_baseline_invariants(self, spec):
+        stats = Core(build_workload(spec), SKYLAKE_LIKE).run(1500)
+        check_invariants(stats, 1500)
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_acb_invariants(self, spec):
+        core = Core(
+            build_workload(spec), SKYLAKE_LIKE, scheme=AcbScheme(reduced_acb_config())
+        )
+        stats = core.run(2500)
+        check_invariants(stats, 2500)
+        assert stats.predicated_instances >= stats.divergence_flushes
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_dmp_invariants(self, spec):
+        core = Core(build_workload(spec), SKYLAKE_LIKE, scheme=DmpScheme())
+        stats = core.run(2000)
+        check_invariants(stats, 2000)
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=6, deadline=None)
+    def test_dhp_invariants(self, spec):
+        core = Core(build_workload(spec), SKYLAKE_LIKE, scheme=DhpScheme())
+        stats = core.run(2000)
+        check_invariants(stats, 2000)
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_architectural_stream_independent_of_scheme(self, spec):
+        """Timing schemes must not change the program's functional work."""
+        base = Core(build_workload(spec), SKYLAKE_LIKE).run(1500)
+        acb = Core(
+            build_workload(spec), SKYLAKE_LIKE, scheme=AcbScheme(reduced_acb_config())
+        ).run(1500)
+        assert abs(base.instructions - acb.instructions) <= SKYLAKE_LIKE.retire_width

@@ -1,0 +1,167 @@
+"""Integration tests of the predication mechanics in the core.
+
+Uses a minimal always-predicate test scheme so the mechanics (dual-path
+fetch, jumper override, stall-until-resolve, transparency, divergence) are
+exercised independently of ACB's learning policy.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.core import Core, SKYLAKE_LIKE
+from repro.core.predication import PredicationPlan, PredicationScheme
+from repro.program import ProgramBuilder, find_reconvergence
+from repro.workloads import Bernoulli, HammockSpec, Workload, WorkloadSpec, build_workload
+from tests.conftest import h2p_hammock_workload
+
+
+class AlwaysPredicate(PredicationScheme):
+    """Predicate every instance of one branch with fixed plan parameters."""
+
+    name = "test-always"
+
+    def __init__(self, branch_pc, reconv_pc, conv_type, first_taken=False,
+                 eager=False, select_uops=False, max_fetch=96):
+        self.branch_pc = branch_pc
+        self.reconv_pc = reconv_pc
+        self.conv_type = conv_type
+        self.first_taken = first_taken
+        self.eager = eager
+        self.select_uops = select_uops
+        self.max_fetch = max_fetch
+        self.closed = 0
+        self.diverged = 0
+
+    def consider(self, dyn, prediction) -> Optional[PredicationPlan]:
+        if dyn.pc != self.branch_pc:
+            return None
+        return PredicationPlan(
+            branch_pc=self.branch_pc,
+            reconv_pc=self.reconv_pc,
+            conv_type=self.conv_type,
+            first_taken=self.first_taken,
+            eager=self.eager,
+            select_uops=self.select_uops,
+            max_fetch=self.max_fetch,
+        )
+
+    def on_region_closed(self, region, diverged):
+        self.closed += 1
+        self.diverged += diverged
+
+
+def shape_workload(shape, seed=7, **kw):
+    spec = WorkloadSpec(
+        name=f"pred_{shape}",
+        category="test",
+        seed=seed,
+        hammocks=(HammockSpec(shape=shape, taken_len=4, nt_len=4, p=0.4, **kw),),
+        ilp=2,
+        chain=1,
+        memory="strided",
+    )
+    return build_workload(spec)
+
+
+def scheme_for(workload, **kw):
+    program = workload.program
+    pc = program.cond_branch_pcs()[0]
+    reconv = find_reconvergence(program, pc)
+    target = program[pc].target
+    if reconv == target:
+        conv_type = 1
+    elif reconv > target:
+        conv_type = 2
+    else:
+        conv_type = 3
+    return AlwaysPredicate(pc, reconv, conv_type, first_taken=conv_type == 3, **kw)
+
+
+class TestPredicationMechanics:
+    @pytest.mark.parametrize("shape", ["if", "if_else", "type3", "nested"])
+    def test_predication_eliminates_branch_flushes(self, shape):
+        workload = shape_workload(shape)
+        scheme = scheme_for(workload)
+        core = Core(workload, SKYLAKE_LIKE, scheme=scheme)
+        stats = core.run(4000)
+        branch_stats = stats.per_branch[scheme.branch_pc]
+        assert branch_stats.predicated > 50
+        assert branch_stats.mispredicted == 0
+        assert stats.divergence_flushes == 0
+
+    @pytest.mark.parametrize("shape", ["if", "if_else", "type3"])
+    def test_architectural_work_unchanged(self, shape):
+        """Predication must not change the functional instruction stream."""
+        base = Core(shape_workload(shape), SKYLAKE_LIKE).run(4000)
+        workload = shape_workload(shape)
+        pred = Core(workload, SKYLAKE_LIKE, scheme=scheme_for(workload)).run(4000)
+        # the run loop stops within one retire group of the budget
+        assert abs(pred.instructions - base.instructions) <= SKYLAKE_LIKE.retire_width
+
+    def test_false_path_uops_retire_but_do_not_count(self):
+        workload = shape_workload("if_else")
+        core = Core(workload, SKYLAKE_LIKE, scheme=scheme_for(workload))
+        stats = core.run(4000)
+        assert stats.retired_uops > stats.instructions
+
+    def test_saved_flushes_accounted(self):
+        workload = shape_workload("if")
+        core = Core(workload, SKYLAKE_LIKE, scheme=scheme_for(workload))
+        stats = core.run(4000)
+        assert stats.predicated_saved_flushes > 20
+
+    def test_select_uops_cost_allocation(self):
+        wl_plain = shape_workload("if_else")
+        plain = Core(wl_plain, SKYLAKE_LIKE, scheme=scheme_for(wl_plain)).run(4000)
+        wl_sel = shape_workload("if_else")
+        sel = Core(
+            wl_sel, SKYLAKE_LIKE, scheme=scheme_for(wl_sel, eager=True, select_uops=True)
+        ).run(4000)
+        assert sel.allocated > plain.allocated
+
+    def test_history_exclusion_of_predicated_instances(self):
+        """Predicated branch instances must not enter the global history."""
+        workload = shape_workload("if")
+        scheme = scheme_for(workload)
+        core = Core(workload, SKYLAKE_LIKE, scheme=scheme)
+        pushes = []
+        orig = core.bp.spec_push
+        core.bp.spec_push = lambda pc, taken: (pushes.append(pc), orig(pc, taken))
+        core.run(2000)
+        assert scheme.branch_pc not in pushes
+
+
+class TestDivergence:
+    def test_wrong_reconvergence_point_diverges_and_recovers(self):
+        workload = shape_workload("if")
+        pc = workload.program.cond_branch_pcs()[0]
+        bogus_reconv = len(workload.program) - 1  # never fetched inside region
+        scheme = AlwaysPredicate(pc, bogus_reconv, conv_type=1, max_fetch=30)
+        core = Core(workload, SKYLAKE_LIKE, scheme=scheme)
+        stats = core.run(4000)
+        assert stats.divergence_flushes > 10
+        assert stats.instructions >= 4000  # forward progress despite divergence
+        assert scheme.diverged > 0
+
+    def test_divergence_counts_separately_from_mispredicts(self):
+        workload = shape_workload("if")
+        pc = workload.program.cond_branch_pcs()[0]
+        scheme = AlwaysPredicate(pc, len(workload.program) - 1, conv_type=1, max_fetch=30)
+        core = Core(workload, SKYLAKE_LIKE, scheme=scheme)
+        stats = core.run(3000)
+        assert stats.flushes == stats.mispredicts + stats.divergence_flushes
+
+
+class TestMultiExitDivergence:
+    def test_escaping_body_paths_diverge_at_the_near_join(self):
+        """B1 pattern: predicating with the near join sometimes diverges."""
+        workload = shape_workload("multi_exit", escape_p=0.3)
+        program = workload.program
+        pc = program.cond_branch_pcs()[0]
+        near_join = program[pc].target
+        scheme = AlwaysPredicate(pc, near_join, conv_type=1, max_fetch=40)
+        core = Core(workload, SKYLAKE_LIKE, scheme=scheme)
+        stats = core.run(4000)
+        assert stats.divergence_flushes > 10        # escape instances
+        assert stats.predicated_instances > stats.divergence_flushes

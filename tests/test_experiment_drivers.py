@@ -1,0 +1,91 @@
+"""Smoke tests for the figure/table experiment drivers.
+
+The benches run these at full windows and assert the paper's shapes; here
+each driver runs at tiny windows on minimal subsets so its plumbing
+(structure, keys, math) is covered inside the fast test suite.
+"""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.runner import clear_memo
+
+
+@pytest.fixture(autouse=True)
+def tiny_windows(monkeypatch):
+    monkeypatch.setenv("REPRO_WARMUP", "1200")
+    monkeypatch.setenv("REPRO_MEASURE", "1500")
+    clear_memo()
+    yield
+    clear_memo()
+
+
+NAMES = ["lammps", "bzip2"]
+
+
+class TestDrivers:
+    def test_fig1(self):
+        result = experiments.fig1_scaling_potential(NAMES, scales=(1, 2))
+        assert set(result["series"]) == {1, 2}
+        assert result["series"][1]["geomean"] > 0
+
+    def test_sec2(self):
+        result = experiments.sec2_characterization(NAMES)
+        assert abs(sum(result["share"].values()) - 1.0) < 1e-9
+
+    def test_fig6(self):
+        result = experiments.fig6_acb_summary(NAMES)
+        assert set(result["per_workload"]) == set(NAMES)
+        assert 0 <= result["flush_reduction"] <= 1
+
+    def test_fig7(self):
+        rows = experiments.fig7_correlation(NAMES)["rows"]
+        assert len(rows) == len(NAMES)
+        perf = [r["perf_ratio"] for r in rows]
+        assert perf == sorted(perf)
+
+    def test_fig8(self):
+        result = experiments.fig8_vs_dmp(NAMES)
+        assert set(result["geomean"]) == {"acb", "acb-nodynamo", "dmp"}
+        assert len(result["rows"]) == len(NAMES)
+
+    def test_fig9(self):
+        result = experiments.fig9_dmp_pbh(["omnetpp"])
+        (row,) = result["rows"]
+        for key in ("dmp_perf", "dmp_misspec", "pbh_perf", "acb_perf"):
+            assert row[key] > 0
+
+    def test_fig10(self):
+        result = experiments.fig10_alloc_stalls(["gcc"])
+        (row,) = result["rows"]
+        assert 0 <= row["base_stalls"] <= 1.5
+
+    def test_fig11(self):
+        result = experiments.fig11_vs_dhp(NAMES)
+        assert result["geomean"]["acb"] > 0
+        assert result["dhp_insensitive"] >= 0
+
+    def test_sec5d(self):
+        result = experiments.sec5d_core_scaling(["lammps"], scales=(1,))
+        assert 1 in result["gain_by_scale"]
+
+    def test_sec5e(self):
+        result = experiments.sec5e_power_proxies(NAMES)
+        assert -1 <= result["allocation_reduction"] <= 1
+
+    def test_related_work(self):
+        result = experiments.related_work_ordering(["lammps"])
+        assert set(result["geomean"]) == {"acb", "dmp", "dhp", "wish"}
+
+    def test_predictor_sensitivity(self):
+        result = experiments.predictor_sensitivity(["lammps"],
+                                                   predictors=("bimodal",))
+        assert result["bimodal"]["acb_gain"] > 0
+
+    def test_extension_multi_reconv(self):
+        result = experiments.extension_multi_reconv(["gobmk"])
+        assert "gobmk" in result["rows"]
+
+    def test_ablation_throttle(self):
+        result = experiments.ablation_throttle(["lammps"])
+        assert result["rows"]["lammps"]["dynamo"] > 0

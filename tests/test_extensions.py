@@ -1,0 +1,169 @@
+"""Unit tests for the extension features: stall throttling, multiple
+reconvergence points, and the perceptron predictor."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.acb import AcbConfig, AcbScheme, AcbTable, BAD, GOOD
+from repro.acb.throttle import StallThrottle
+from repro.branch import PerceptronPredictor, make_predictor
+from repro.core import Core, SKYLAKE_LIKE
+from repro.harness.runner import reduced_acb_config
+from repro.workloads import Bernoulli, HammockSpec, Periodic, WorkloadSpec, \
+    WorkloadState, build_workload
+from tests.conftest import h2p_hammock_workload
+
+
+class TestStallThrottle:
+    def _make(self, threshold=10.0, epoch=100):
+        cfg = replace(AcbConfig(), epoch_length=epoch, dynamo_reset_interval=0)
+        table = AcbTable(cfg)
+        return StallThrottle(cfg, table, threshold), table
+
+    def test_disables_high_stall_branch(self):
+        throttle, table = self._make()
+        entry = table.allocate(7, 1, 12, 4)
+        throttle.note_instance(entry)
+        throttle.note_body_stall(7, 500)
+        for i in range(100):
+            throttle.on_retire(i)
+        assert entry.fsm == BAD
+        assert not throttle.enabled(entry)
+
+    def test_keeps_low_stall_branch(self):
+        throttle, table = self._make()
+        entry = table.allocate(7, 1, 12, 4)
+        throttle.note_instance(entry)
+        throttle.note_body_stall(7, 3)
+        for i in range(100):
+            throttle.on_retire(i)
+        assert entry.fsm == GOOD
+
+    def test_epoch_counters_reset(self):
+        throttle, table = self._make()
+        entry = table.allocate(7, 1, 12, 4)
+        throttle.note_instance(entry)
+        throttle.note_body_stall(7, 500)
+        for i in range(100):
+            throttle.on_retire(i)
+        assert not throttle._stalls and not throttle._instances
+
+    def test_scheme_selects_throttle_kind(self):
+        dynamo_scheme = AcbScheme(reduced_acb_config())
+        assert dynamo_scheme.dynamo is dynamo_scheme.monitor
+        stall_scheme = AcbScheme(replace(reduced_acb_config(), throttle="stalls"))
+        assert stall_scheme.dynamo is None
+        assert isinstance(stall_scheme.monitor, StallThrottle)
+
+    def test_invalid_throttle_name(self):
+        with pytest.raises(ValueError):
+            replace(AcbConfig(), throttle="vibes")
+
+    def test_stall_throttle_kills_profitable_predication(self):
+        """The Section V-B failure mode, end to end: a profitable hammock on
+        a serial chain stalls by design, so the local heuristic disables it
+        while Dynamo keeps it."""
+        def run(throttle):
+            cfg = replace(reduced_acb_config(), throttle=throttle,
+                          stall_threshold=10.0)
+            core = Core(h2p_hammock_workload(ilp=0, with_mem=False),
+                        SKYLAKE_LIKE, scheme=AcbScheme(cfg))
+            return core.run_window(10_000, 8_000)
+
+        dynamo = run("dynamo")
+        stalls = run("stalls")
+        assert dynamo.predicated_instances > stalls.predicated_instances
+        assert dynamo.cycles < stalls.cycles
+
+
+class TestMultiReconv:
+    def _b1_workload(self):
+        return build_workload(WorkloadSpec(
+            name="b1x", category="test", seed=5,
+            hammocks=(HammockSpec(shape="multi_exit", nt_len=8, p=0.4,
+                                  escape_p=0.25),),
+            ilp=2, chain=1, memory="none",
+        ))
+
+    def test_far_point_adopted_after_divergence(self):
+        cfg = replace(reduced_acb_config(), multi_reconv=True)
+        core = Core(self._b1_workload(), SKYLAKE_LIKE, scheme=AcbScheme(cfg))
+        core.run(20_000)
+        scheme = core.scheme
+        assert scheme.far_relearned >= 1
+        pc = core.program.cond_branch_pcs()[0]
+        entry = scheme.table.lookup(pc)
+        assert entry is not None
+        assert entry.reconv_pc > core.program[pc].target
+
+    def test_divergences_drop_with_far_point(self):
+        base_cfg = replace(reduced_acb_config(), dynamo_enabled=False)
+        multi_cfg = replace(base_cfg, multi_reconv=True)
+        plain = Core(self._b1_workload(), SKYLAKE_LIKE,
+                     scheme=AcbScheme(base_cfg)).run(20_000)
+        multi = Core(self._b1_workload(), SKYLAKE_LIKE,
+                     scheme=AcbScheme(multi_cfg)).run(20_000)
+        assert multi.divergence_flushes < plain.divergence_flushes
+        assert multi.predicated_instances >= plain.predicated_instances
+
+    def test_disabled_by_default(self):
+        assert not AcbConfig().multi_reconv
+
+
+class TestPerceptron:
+    def test_registered(self):
+        assert isinstance(make_predictor("perceptron"), PerceptronPredictor)
+
+    def test_learns_bias(self):
+        bp = PerceptronPredictor()
+        st = WorkloadState(3)
+        beh = Bernoulli("b", 0.9)
+        wrong = 0
+        for _ in range(2000):
+            taken = beh.resolve(st)
+            pred = bp.predict(100)
+            bp.spec_push(100, taken)
+            wrong += pred.taken != taken
+            bp.update(100, taken, pred.meta, pred.taken != taken)
+        assert wrong / 2000 < 0.2
+
+    def test_learns_history_pattern(self):
+        bp = PerceptronPredictor()
+        st = WorkloadState(3)
+        beh = Periodic("p", (True, True, False))
+        wrong = 0
+        for i in range(4000):
+            taken = beh.resolve(st)
+            pred = bp.predict(100)
+            bp.spec_push(100, taken)
+            if i > 500:
+                wrong += pred.taken != taken
+            bp.update(100, taken, pred.meta, pred.taken != taken)
+        assert wrong / 3500 < 0.05
+
+    def test_checkpoint_restore(self):
+        bp = PerceptronPredictor()
+        bp.spec_push(0, True)
+        cp = bp.checkpoint()
+        bp.spec_push(0, False)
+        bp.restore(cp, 0, True)
+        assert bp.hist.recent(2) == 0b11
+
+    def test_weights_saturate(self):
+        bp = PerceptronPredictor(weight_bits=8)
+        for _ in range(2000):
+            pred = bp.predict(5)
+            bp.update(5, True, pred.meta, mispredicted=True)
+        w = bp.weights[bp._index(5)]
+        assert all(bp.wmin <= wi <= bp.wmax for wi in w)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(entries=100)
+
+    def test_runs_in_core(self):
+        stats = Core(h2p_hammock_workload(), SKYLAKE_LIKE,
+                     predictor="perceptron").run(3000)
+        assert stats.instructions >= 3000
+        assert stats.mispredicts > 0

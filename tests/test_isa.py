@@ -1,0 +1,136 @@
+"""Unit tests for the instruction model."""
+
+import pytest
+
+from repro.isa import (
+    ALL_REGS,
+    FLAGS,
+    NUM_GPR,
+    NUM_LOGICAL,
+    Instruction,
+    UopClass,
+    latency_of,
+    port_group_of,
+    reg_name,
+)
+from repro.isa.dyninst import DynInst, ROLE_BRANCH, ST_SQUASHED
+from repro.isa import registers
+
+
+class TestRegisters:
+    def test_layout(self):
+        assert NUM_LOGICAL == NUM_GPR + 1
+        assert FLAGS == NUM_GPR
+        assert len(ALL_REGS) == NUM_LOGICAL
+
+    def test_names(self):
+        assert reg_name(0) == "R0"
+        assert reg_name(FLAGS) == "FLAGS"
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_LOGICAL)
+
+    def test_is_valid(self):
+        assert registers.is_valid(0)
+        assert registers.is_valid(FLAGS)
+        assert not registers.is_valid(-1)
+        assert not registers.is_valid(NUM_LOGICAL)
+
+
+class TestOpcodes:
+    def test_every_class_has_latency_and_port(self):
+        for uop in UopClass:
+            assert latency_of(uop) >= 1
+            assert port_group_of(uop) in ("alu", "load", "store")
+
+    def test_load_store_ports(self):
+        assert port_group_of(UopClass.LOAD) == "load"
+        assert port_group_of(UopClass.STORE) == "store"
+
+    def test_div_slowest_integer_op(self):
+        assert latency_of(UopClass.DIV) > latency_of(UopClass.MUL) > latency_of(UopClass.ALU)
+
+
+class TestInstruction:
+    def test_plain_alu(self):
+        instr = Instruction(pc=0, uop=UopClass.ALU, dst=1, srcs=(2, 3))
+        assert instr.writes_register
+        assert not instr.is_branch
+        assert instr.successors() == (1,)
+
+    def test_cond_branch_successors(self):
+        instr = Instruction(pc=5, uop=UopClass.BRANCH, target=9, cond=True)
+        assert instr.is_cond_branch
+        assert set(instr.successors()) == {6, 9}
+
+    def test_uncond_branch_successors(self):
+        instr = Instruction(pc=5, uop=UopClass.BRANCH, target=2)
+        assert instr.successors() == (2,)
+        assert not instr.is_cond_branch
+
+    def test_forward_backward(self):
+        fwd = Instruction(pc=1, uop=UopClass.BRANCH, target=8, cond=True)
+        bwd = Instruction(pc=8, uop=UopClass.BRANCH, target=1, cond=True)
+        assert fwd.is_forward_branch
+        assert not bwd.is_forward_branch
+
+    def test_branch_needs_target(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, uop=UopClass.BRANCH, cond=True)
+
+    def test_non_branch_cannot_be_conditional(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, uop=UopClass.ALU, dst=1, cond=True)
+
+    def test_non_branch_cannot_have_target(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, uop=UopClass.ALU, dst=1, target=4)
+
+    def test_invalid_registers_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, uop=UopClass.ALU, dst=99)
+        with pytest.raises(ValueError):
+            Instruction(pc=0, uop=UopClass.ALU, dst=1, srcs=(99,))
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=-1, uop=UopClass.NOP)
+
+    def test_store_does_not_write_register(self):
+        store = Instruction(pc=0, uop=UopClass.STORE, srcs=(1, 2))
+        assert not store.writes_register
+        assert store.is_mem and store.is_store and not store.is_load
+
+
+class TestDynInst:
+    def _branch(self):
+        return Instruction(pc=3, uop=UopClass.BRANCH, target=7, cond=True)
+
+    def test_initial_state(self):
+        dyn = DynInst(0, self._branch())
+        assert not dyn.is_predicated
+        assert not dyn.mispredicted
+        assert not dyn.squashed
+
+    def test_mispredicted_requires_real_prediction(self):
+        dyn = DynInst(0, self._branch())
+        dyn.taken = True
+        dyn.pred_taken = False
+        assert not dyn.mispredicted  # predicted flag not set
+        dyn.predicted = True
+        assert dyn.mispredicted
+
+    def test_predicated_instances_never_mispredict(self):
+        dyn = DynInst(0, self._branch())
+        dyn.acb_id = 0
+        dyn.acb_role = ROLE_BRANCH
+        dyn.taken = True
+        dyn.pred_taken = False
+        assert dyn.is_predicated
+        assert not dyn.mispredicted
+
+    def test_squashed_flag(self):
+        dyn = DynInst(0, self._branch())
+        dyn.state = ST_SQUASHED
+        assert dyn.squashed

@@ -1,0 +1,83 @@
+"""Tests for the cache hierarchy."""
+
+import pytest
+
+from repro.memory import Cache, MemoryConfig, MemoryHierarchy
+
+
+class TestCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, ways=3, line_bytes=64)
+        with pytest.raises(ValueError):
+            Cache(size_bytes=4096, ways=1, line_bytes=60)
+
+    def test_miss_then_hit_after_fill(self):
+        cache = Cache(4096, 4)
+        assert not cache.access(0x1000)
+        cache.fill(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_hits(self):
+        cache = Cache(4096, 4)
+        cache.fill(0x1000)
+        assert cache.access(0x1001)
+        assert cache.access(0x103F)
+
+    def test_lru_eviction(self):
+        cache = Cache(2 * 64, 2, line_bytes=64)  # 1 set, 2 ways
+        cache.fill(0)
+        cache.fill(64 * 1)
+        cache.access(0)          # 0 most recent
+        cache.fill(64 * 2)       # evicts line 1
+        assert cache.probe(0)
+        assert not cache.probe(64)
+
+    def test_stats(self):
+        cache = Cache(4096, 4)
+        cache.access(0)
+        cache.fill(0)
+        cache.access(0)
+        assert cache.hits == 1 and cache.misses == 1
+        cache.reset_stats()
+        assert cache.hits == 0
+
+
+class TestHierarchy:
+    def test_first_access_is_dram(self):
+        mem = MemoryHierarchy()
+        assert mem.load(0x5000) == mem.config.dram_latency
+        assert mem.dram_accesses == 1
+
+    def test_second_access_is_l1(self):
+        mem = MemoryHierarchy()
+        mem.load(0x5000)
+        assert mem.load(0x5000) == mem.config.l1_latency
+
+    def test_l1_eviction_falls_to_l2(self):
+        config = MemoryConfig()
+        mem = MemoryHierarchy(config)
+        mem.load(0x5000)
+        # walk a set-conflicting stream large enough to evict from L1 but
+        # not from L2
+        stride = config.l1_size  # same L1 set, same L2 presence differs
+        for i in range(1, config.l1_ways + 2):
+            mem.load(0x5000 + i * stride)
+        latency = mem.load(0x5000)
+        assert latency in (config.l2_latency, config.llc_latency)
+
+    def test_store_write_allocates(self):
+        mem = MemoryHierarchy()
+        mem.store(0x9000)
+        assert mem.load(0x9000) == mem.config.l1_latency
+
+    def test_is_llc_miss_probe_nondestructive(self):
+        mem = MemoryHierarchy()
+        assert mem.is_llc_miss(0x7000)
+        assert mem.is_llc_miss(0x7000)  # probing did not fill
+        mem.load(0x7000)
+        assert not mem.is_llc_miss(0x7000)
+
+    def test_latencies_ordered(self):
+        c = MemoryConfig()
+        assert c.l1_latency < c.l2_latency < c.llc_latency < c.dram_latency

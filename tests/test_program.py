@@ -1,0 +1,113 @@
+"""Tests for the static program container and builder DSL."""
+
+import pytest
+
+from repro.isa import Instruction, UopClass
+from repro.program import Program, ProgramBuilder
+
+
+def tiny_loop() -> Program:
+    b = ProgramBuilder("tiny")
+    b.label("top")
+    b.alu(dst=1, srcs=(1,))
+    b.compare(srcs=(1,))
+    b.cond_branch("skip", behavior="br")
+    b.alu(dst=2, srcs=(1,))
+    b.label("skip")
+    b.jump("top")
+    return b.build()
+
+
+class TestProgram:
+    def test_dense_pcs_enforced(self):
+        bad = [
+            Instruction(pc=0, uop=UopClass.NOP),
+            Instruction(pc=2, uop=UopClass.BRANCH, target=0),
+        ]
+        with pytest.raises(ValueError):
+            Program(bad)
+
+    def test_must_end_with_unconditional_branch(self):
+        with pytest.raises(ValueError):
+            Program([Instruction(pc=0, uop=UopClass.NOP)])
+
+    def test_branch_target_in_range(self):
+        bad = [
+            Instruction(pc=0, uop=UopClass.BRANCH, target=5),
+        ]
+        with pytest.raises(ValueError):
+            Program(bad)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_iteration_and_indexing(self):
+        program = tiny_loop()
+        assert len(program) == 5
+        assert program[2].is_cond_branch
+        assert [i.pc for i in program] == list(range(5))
+
+    def test_cond_branch_pcs(self):
+        assert tiny_loop().cond_branch_pcs() == [2]
+
+    def test_basic_blocks_cover_program(self):
+        program = tiny_loop()
+        blocks = program.basic_blocks()
+        covered = sorted(pc for start, end in blocks.values() for pc in range(start, end))
+        assert covered == list(range(len(program)))
+
+    def test_disassemble_mentions_labels(self):
+        assert "cond" in tiny_loop().disassemble()
+
+
+class TestProgramBuilder:
+    def test_forward_label_patched(self):
+        program = tiny_loop()
+        assert program[2].target == 4  # "skip"
+        assert program[4].target == 0  # "top"
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder()
+        b.cond_branch("nowhere", behavior="x")
+        b.jump("nowhere2")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("a")
+        with pytest.raises(ValueError):
+            b.label("a")
+
+    def test_next_pc_tracks_emission(self):
+        b = ProgramBuilder()
+        assert b.next_pc == 0
+        b.alu(dst=1)
+        assert b.next_pc == 1
+
+    def test_compare_writes_flags(self):
+        b = ProgramBuilder()
+        b.compare(srcs=(1,))
+        b.jump_pc = b.label("end")
+        b.jump("end")
+        program = b.build()
+        from repro.isa import FLAGS
+
+        assert program[0].dst == FLAGS
+
+    def test_all_emitters(self):
+        b = ProgramBuilder()
+        b.label("top")
+        b.alu(dst=1)
+        b.mul(dst=2, srcs=(1,))
+        b.div(dst=3, srcs=(2,))
+        b.fp(dst=4, srcs=(3,))
+        b.nop()
+        b.load(dst=5, srcs=(4,))
+        b.store(srcs=(5,))
+        b.jump("top")
+        program = b.build()
+        kinds = [i.uop for i in program]
+        assert UopClass.MUL in kinds and UopClass.DIV in kinds
+        assert UopClass.LOAD in kinds and UopClass.STORE in kinds

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.acb import CriticalTable
+from repro.branch import GlobalHistory
+from repro.harness import geomean
+from repro.isa import Instruction, UopClass
+from repro.memory import Cache
+from repro.program import ProgramBuilder
+from repro.workloads import WorkloadState
+
+
+class TestWorkloadStateProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**63), n=st.integers(1, 50))
+    @settings(max_examples=50)
+    def test_snapshot_restore_replays_exactly(self, seed, n):
+        state = WorkloadState(seed)
+        snap = state.snapshot()
+        first = [state.rand_u64() for _ in range(n)]
+        state.restore(snap)
+        assert [state.rand_u64() for _ in range(n)] == first
+
+    @given(seed=st.integers(min_value=0, max_value=2**63))
+    @settings(max_examples=50)
+    def test_rand01_bounds(self, seed):
+        state = WorkloadState(seed)
+        for _ in range(100):
+            assert 0.0 <= state.rand01() < 1.0
+
+
+class TestHistoryProperties:
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=200),
+           length=st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_history_keeps_only_recent_bits(self, bits, length):
+        hist = GlobalHistory(length)
+        for bit in bits:
+            hist.push(bit)
+        expected = 0
+        for bit in bits[-length:]:
+            expected = ((expected << 1) | bit) & ((1 << length) - 1)
+        assert hist.bits == expected
+
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_checkpoint_restore_is_identity(self, bits):
+        hist = GlobalHistory(32)
+        for bit in bits[: len(bits) // 2]:
+            hist.push(bit)
+        cp = hist.checkpoint()
+        for bit in bits[len(bits) // 2:]:
+            hist.push(bit)
+        hist.restore(cp)
+        assert hist.bits == cp
+
+
+class TestCacheProperties:
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_occupancy_never_exceeds_ways(self, addrs):
+        cache = Cache(4096, 4)
+        for addr in addrs:
+            if not cache.access(addr):
+                cache.fill(addr)
+        for cset in cache._sets:
+            assert len(cset) <= cache.ways
+
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_fill_makes_hit(self, addrs):
+        cache = Cache(8192, 8)
+        for addr in addrs:
+            cache.fill(addr)
+            assert cache.access(addr)
+
+
+class TestCriticalTableProperties:
+    @given(pcs=st.lists(st.integers(0, 4095), min_size=1, max_size=400))
+    @settings(max_examples=30)
+    def test_counters_stay_in_range(self, pcs):
+        table = CriticalTable(entries=16, counter_bits=4)
+        for pc in pcs:
+            table.record_mispredict(pc)
+        for entry in table._table:
+            if entry is not None:
+                assert 0 <= entry.critical <= 15
+                assert 0 <= entry.utility <= 3
+
+    @given(pcs=st.lists(st.integers(0, 4095), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_lookup_after_record_consistent(self, pcs):
+        table = CriticalTable(entries=16)
+        for pc in pcs:
+            table.record_mispredict(pc)
+        count = table.lookup(pcs[-1])
+        assert count is None or count >= 1
+
+
+class TestGeomeanProperties:
+    @given(vals=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_bounded_by_min_max(self, vals):
+        g = geomean(vals)
+        assert min(vals) - 1e-9 <= g <= max(vals) + 1e-9
+
+
+class TestProgramProperties:
+    @given(
+        ops=st.lists(
+            st.sampled_from(["alu", "load", "store", "mul"]), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=30)
+    def test_linear_programs_always_valid(self, ops):
+        b = ProgramBuilder("prop")
+        b.label("top")
+        for op in ops:
+            if op == "alu":
+                b.alu(dst=1, srcs=(1,))
+            elif op == "mul":
+                b.mul(dst=2, srcs=(1,))
+            elif op == "load":
+                b.load(dst=3, srcs=(1,))
+            else:
+                b.store(srcs=(1,))
+        b.jump("top")
+        program = b.build()
+        assert len(program) == len(ops) + 1
+        for instr in program:
+            assert instr.successors()
+
+    @given(body=st.integers(1, 10), data=st.data())
+    @settings(max_examples=20)
+    def test_hammock_programs_reconverge(self, body, data):
+        from repro.program import find_reconvergence
+
+        b = ProgramBuilder("hammock")
+        b.label("top")
+        b.compare(srcs=(1,))
+        b.cond_branch("skip", behavior="x")
+        for _ in range(body):
+            b.alu(dst=2, srcs=(2,))
+        b.label("skip")
+        b.jump("top")
+        program = b.build()
+        pc = program.cond_branch_pcs()[0]
+        assert find_reconvergence(program, pc) == program[pc].target
+
+
+class TestLearningTableFuzz:
+    """The learner must never crash or livelock on arbitrary fetch streams."""
+
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(0, 30),              # pc
+                st.sampled_from(["alu", "cond", "jump"]),
+                st.booleans(),                    # predicted direction
+                st.integers(0, 30),              # branch target
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_never_crashes(self, events):
+        from repro.acb import LearningTable
+        from repro.isa.dyninst import DynInst
+
+        table = LearningTable(limit=10)
+        table.load(branch_pc=5, target=12)
+        for pc, kind, pred, target in events:
+            if kind == "alu":
+                instr = Instruction(pc=pc, uop=UopClass.ALU, dst=1)
+                dyn = DynInst(0, instr)
+            elif kind == "cond":
+                instr = Instruction(pc=pc, uop=UopClass.BRANCH, target=target, cond=True)
+                dyn = DynInst(0, instr)
+                dyn.predicted = True
+                dyn.pred_taken = pred
+            else:
+                instr = Instruction(pc=pc, uop=UopClass.BRANCH, target=target)
+                dyn = DynInst(0, instr)
+            table.observe(dyn)
+        # FSM stayed within its state space
+        assert table.phase in range(5)
+        assert table.stage in (0, 1)

@@ -1,0 +1,85 @@
+"""Tests for the 70-workload suite (Table III)."""
+
+import pytest
+
+from repro.workloads import (
+    REPRESENTATIVE,
+    build_workload,
+    categories,
+    load_suite,
+    suite_names,
+    suite_specs,
+)
+from repro.workloads.suite import _special_specs
+
+
+class TestSuiteComposition:
+    def test_seventy_workloads(self):
+        assert len(suite_names()) == 70
+
+    def test_paper_categories_present(self):
+        cats = categories()
+        assert set(cats) == {"ISPEC", "FSPEC", "SPEC17", "SYSmark", "Client", "Server"}
+        assert len(cats["ISPEC"]) == 12
+        assert len(cats["SYSmark"]) == 4
+
+    def test_unique_names(self):
+        names = suite_names()
+        assert len(names) == len(set(names))
+
+    def test_representative_subset_is_valid(self):
+        assert set(REPRESENTATIVE) <= set(suite_names())
+        assert len(REPRESENTATIVE) >= 10
+
+    def test_named_outliers_have_tags(self):
+        specs = suite_specs()
+        assert specs["omnetpp"].paper_tag == "D"
+        assert specs["eembc"].paper_tag == "C"
+        assert specs["gobmk"].paper_tag == "B1"
+        assert specs["povray"].paper_tag == "B2"
+        assert specs["gcc"].paper_tag == "E"
+        assert specs["lammps"].paper_tag == "A"
+
+    def test_every_fig9_category_has_workloads(self):
+        tags = {spec.paper_tag for spec in suite_specs().values()}
+        for needed in ("A", "B1", "B2", "C", "D", "E"):
+            assert needed in tags
+
+
+class TestSuiteConstruction:
+    def test_all_programs_build(self):
+        workloads = load_suite()
+        assert len(workloads) == 70
+        for workload in workloads:
+            assert len(workload.program) >= 5
+            assert workload.behaviors
+
+    def test_deterministic_rebuild(self):
+        (a,) = load_suite(["bzip2"])
+        (b,) = load_suite(["bzip2"])
+        assert a.program.instructions == b.program.instructions
+        assert a.seed == b.seed
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_suite(["quake"])
+
+    def test_training_input_attached(self):
+        (workload,) = load_suite(["omnetpp"])
+        assert workload.train is not None
+        assert workload.train.seed != workload.seed
+        # the training program has the same code layout (PCs transfer)
+        assert len(workload.train.program) == len(workload.program)
+
+    def test_train_shift_changes_probabilities(self):
+        spec = suite_specs()["omnetpp"]
+        assert spec.train_shift != 0.0
+        workload = build_workload(spec)
+        test_beh = workload.behaviors["h0"]
+        train_beh = workload.train.behaviors["h0"]
+        assert test_beh.p != train_beh.p
+
+    def test_special_specs_subset_of_suite(self):
+        names = set(suite_names())
+        for name in _special_specs():
+            assert name in names

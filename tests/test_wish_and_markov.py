@@ -1,0 +1,76 @@
+"""Tests for the Wish Branches baseline and the Markov branch behaviour."""
+
+from repro.baselines import DmpScheme, WishConfig, WishScheme
+from repro.core import Core, SKYLAKE_LIKE
+from repro.workloads import (
+    HammockSpec,
+    Markov,
+    WorkloadSpec,
+    WorkloadState,
+    build_workload,
+)
+from tests.conftest import h2p_hammock_workload
+
+
+class TestMarkovBehavior:
+    def test_bursty_runs(self):
+        st = WorkloadState(5)
+        beh = Markov("m", p_stay=0.95)
+        outcomes = [beh.resolve(st) for _ in range(5000)]
+        transitions = sum(a != b for a, b in zip(outcomes, outcomes[1:]))
+        # ~5% transition rate expected
+        assert transitions < 5000 * 0.10
+        assert transitions > 5000 * 0.01
+
+    def test_invalid_p_stay(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Markov("m", p_stay=1.0)
+
+    def test_spec_integration(self):
+        spec = WorkloadSpec(
+            name="bursty", category="test",
+            hammocks=(HammockSpec(shape="if", nt_len=4, kind="markov",
+                                  p_stay=0.85),),
+            ilp=2, chain=1, memory="none",
+        )
+        stats = Core(build_workload(spec), SKYLAKE_LIKE).run(5000)
+        # bursts are learnable inside a run but every transition mispredicts
+        pc = build_workload(spec).program.cond_branch_pcs()[0]
+        branch = stats.per_branch[pc]
+        assert 0.02 < branch.mispred_rate < 0.45
+
+
+class TestWishBranches:
+    def test_predicates_without_h2p_selection(self):
+        """Even a fairly predictable convergent branch becomes a candidate
+        (Wish Branches has no profiling gate)."""
+        spec = WorkloadSpec(
+            name="easy", category="test",
+            hammocks=(HammockSpec(shape="if", nt_len=4, p=0.10),),
+            ilp=2, chain=1, memory="none",
+        )
+        workload = build_workload(spec)
+        wish = Core(build_workload(spec), SKYLAKE_LIKE, scheme=WishScheme())
+        dmp = Core(build_workload(spec), SKYLAKE_LIKE, scheme=DmpScheme())
+        pc = workload.program.cond_branch_pcs()[0]
+        assert pc in wish.scheme.candidates
+        # DMP's compiler may or may not select it; Wish always does
+        assert len(wish.scheme.candidates) >= len(dmp.scheme.candidates)
+
+    def test_plans_are_not_eager(self):
+        workload = h2p_hammock_workload()
+        core = Core(workload, SKYLAKE_LIKE, scheme=WishScheme())
+        stats = core.run(6000)
+        assert stats.predicated_instances > 50
+        assert stats.select_uops == 0  # predicated code, not select merging
+
+    def test_saves_flushes_on_h2p(self):
+        base = Core(h2p_hammock_workload(), SKYLAKE_LIKE).run(6000)
+        wish = Core(h2p_hammock_workload(), SKYLAKE_LIKE,
+                    scheme=WishScheme()).run(6000)
+        assert wish.flushes < base.flushes
+
+    def test_config_defaults(self):
+        assert WishConfig().min_mispred_rate == 0.0

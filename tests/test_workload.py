@@ -1,0 +1,93 @@
+"""Tests for the Workload container and the functional executor."""
+
+import pytest
+
+from repro.program import ProgramBuilder
+from repro.workloads import Bernoulli, FunctionalExecutor, Workload
+
+
+def make_workload(p=0.5, seed=1):
+    b = ProgramBuilder("w")
+    b.label("top")
+    b.alu(dst=1, srcs=(1,))
+    b.compare(srcs=(1,))
+    b.cond_branch("skip", behavior="br")
+    b.load(dst=2, srcs=(1,))
+    b.label("skip")
+    b.store(srcs=(1,))
+    b.jump("top")
+    return Workload("w", "test", b.build(), {"br": Bernoulli("br", p)}, seed=seed)
+
+
+class TestFunctionalExecutor:
+    def test_follows_control_flow(self):
+        ex = FunctionalExecutor(make_workload(p=1.0))
+        assert ex.step(0).next_pc == 1
+        assert ex.step(1).next_pc == 2
+        result = ex.step(2)
+        assert result.taken is True
+        assert result.next_pc == 4  # always-taken branch skips the load
+
+    def test_not_taken_falls_through(self):
+        ex = FunctionalExecutor(make_workload(p=0.0))
+        ex.step(0), ex.step(1)
+        result = ex.step(2)
+        assert result.taken is False
+        assert result.next_pc == 3
+
+    def test_out_of_sync_step_raises(self):
+        ex = FunctionalExecutor(make_workload())
+        ex.step(0)
+        with pytest.raises(RuntimeError):
+            ex.step(5)
+
+    def test_mem_addresses_only_on_mem_ops(self):
+        ex = FunctionalExecutor(make_workload(p=0.0))
+        assert ex.step(0).mem_addr is None
+        ex.step(1), ex.step(2)
+        assert ex.step(3).mem_addr is not None  # the load
+        assert ex.step(4).mem_addr is not None  # the store
+
+    def test_instr_count_advances(self):
+        ex = FunctionalExecutor(make_workload())
+        for _ in range(10):
+            ex.step(ex.next_pc)
+        assert ex.instr_count == 10
+
+    def test_snapshot_restore_replays(self):
+        ex = FunctionalExecutor(make_workload(p=0.5))
+        for _ in range(5):
+            ex.step(ex.next_pc)
+        snap = ex.snapshot()
+        trace = [(ex.next_pc, ex.step(ex.next_pc).taken) for _ in range(30)]
+        ex.restore(snap)
+        replay = [(ex.next_pc, ex.step(ex.next_pc).taken) for _ in range(30)]
+        assert trace == replay
+
+    def test_seed_offset_changes_stream(self):
+        a = FunctionalExecutor(make_workload(), seed_offset=0)
+        b = FunctionalExecutor(make_workload(), seed_offset=1)
+        taken_a, taken_b = [], []
+        for _ in range(200):
+            ra = a.step(a.next_pc)
+            rb = b.step(b.next_pc)
+            if ra.taken is not None:
+                taken_a.append(ra.taken)
+            if rb.taken is not None:
+                taken_b.append(rb.taken)
+        assert taken_a != taken_b
+
+
+class TestWorkload:
+    def test_mem_behavior_default_created_once(self):
+        workload = make_workload()
+        assert workload.mem_behavior(3) is workload.mem_behavior(3)
+
+    def test_branch_behavior_lookup(self):
+        workload = make_workload()
+        assert workload.branch_behavior(2).name == "br"
+
+    def test_branch_behavior_missing(self):
+        workload = make_workload()
+        with pytest.raises(KeyError):
+            workload.branch_behavior(0)
