@@ -8,14 +8,39 @@ the durable record; EXPERIMENTS.md is compiled from them).
 
 Workload selection defaults to the representative 12-workload subset;
 ``REPRO_SUITE=full`` runs all 70 (slower).  Simulation runs are memoized
-across benchmarks, so shared (workload, config) pairs are simulated once.
+in-process and persisted to the on-disk result cache (``.repro_cache/``
+by default, ``REPRO_CACHE=0`` to disable), so shared (workload, config)
+pairs are simulated once and repeated benchmark invocations skip
+already-simulated cells.  Matrices fan out over ``REPRO_JOBS`` worker
+processes; a per-session run manifest is printed at the end.
 """
 
 from __future__ import annotations
 
 import pathlib
 
+import pytest
+
+from repro.harness.cache import ResultCache, set_active_cache
+from repro.harness.parallel import session_manifests, shutdown_pool
+from repro.harness.reporting import summarize_manifests
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _result_cache():
+    """Install the persistent result cache for the whole benchmark session."""
+    previous = set_active_cache(ResultCache.from_env())
+    yield
+    set_active_cache(previous)
+    shutdown_pool()
+
+
+def pytest_terminal_summary(terminalreporter):
+    manifests = session_manifests()
+    if manifests:
+        terminalreporter.write_line(summarize_manifests(manifests))
 
 
 def report(experiment_id: str, text: str) -> None:

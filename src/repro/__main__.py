@@ -12,15 +12,28 @@ Commands
 ``experiment NAME``
     Run one figure/table driver (``fig6``, ``fig8``, ``table1`` ...) and
     print its structured result.
+
+Global options
+--------------
+``--jobs N``       fan simulation matrices out over N worker processes
+                   (default: ``REPRO_JOBS`` env var, else all cores).
+``--cache-dir D``  persistent result cache location (default
+                   ``.repro_cache``); repeated invocations of the same
+                   matrix skip already-simulated cells.
+``--no-cache``     disable the persistent cache for this invocation.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.harness import experiments, format_table, pct
+from repro.harness.cache import ResultCache, set_active_cache
+from repro.harness.parallel import session_manifests
+from repro.harness.reporting import summarize_manifests
 from repro.harness.runner import SCHEME_FACTORIES, run_workload
 from repro.workloads import categories, suite_names
 
@@ -87,9 +100,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_manifests() -> None:
+    manifests = session_manifests()
+    if manifests:
+        print(summarize_manifests(manifests), file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="ACB (ISCA 2020) reproduction harness"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for experiment matrices "
+             "(default: REPRO_JOBS, else all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache directory (default: .repro_cache)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -114,7 +146,20 @@ def main(argv=None) -> int:
     p_exp.set_defaults(func=_cmd_experiment)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir, enabled=True)
+    else:
+        cache = ResultCache.from_env()
+    previous = set_active_cache(cache)
+    try:
+        return args.func(args)
+    finally:
+        set_active_cache(previous)
+        _report_manifests()
 
 
 if __name__ == "__main__":

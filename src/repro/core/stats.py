@@ -9,7 +9,7 @@ while its power argument counts *allocations*, which we track separately).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -24,6 +24,17 @@ class BranchPCStats:
     @property
     def mispred_rate(self) -> float:
         return self.mispredicted / self.executed if self.executed else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "executed": self.executed,
+            "mispredicted": self.mispredicted,
+            "predicated": self.predicated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "BranchPCStats":
+        return cls(**data)
 
 
 @dataclass
@@ -79,6 +90,28 @@ class SimStats:
         if pc not in self.per_branch:
             self.per_branch[pc] = BranchPCStats()
         return self.per_branch[pc]
+
+    # -- serialization (disk result cache, run manifests) ---------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        out = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "per_branch"
+        }
+        # JSON object keys must be strings; PCs are ints.
+        out["per_branch"] = {str(pc): s.to_dict() for pc, s in self.per_branch.items()}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimStats":
+        data = dict(data)
+        per_branch = {
+            int(pc): BranchPCStats.from_dict(s)
+            for pc, s in data.pop("per_branch", {}).items()
+        }
+        known = {f.name for f in fields(cls)}
+        stats = cls(**{k: v for k, v in data.items() if k in known})
+        stats.per_branch = per_branch
+        return stats
 
     def summary(self) -> Dict[str, float]:
         return {

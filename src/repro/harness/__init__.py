@@ -1,28 +1,63 @@
 """Experiment harness: run drivers for every figure and table."""
 
+from repro.harness import experiments
+from repro.harness.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    get_active_cache,
+    set_active_cache,
+)
+from repro.harness.parallel import (
+    MatrixManifest,
+    RunRequest,
+    default_jobs,
+    last_manifest,
+    run_matrix,
+    session_manifests,
+)
+from repro.harness.reporting import (
+    format_manifest,
+    format_table,
+    geomean,
+    pct,
+    per_category,
+    summarize_manifests,
+)
 from repro.harness.runner import (
-    RunResult,
     SCHEME_FACTORIES,
+    RunResult,
     compare_configs,
     default_measure,
     default_warmup,
+    normalized_run_key,
     reduced_acb_config,
     run_workload,
 )
-from repro.harness.reporting import format_table, geomean, pct, per_category
-from repro.harness import experiments
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "MatrixManifest",
+    "ResultCache",
+    "RunRequest",
     "RunResult",
     "SCHEME_FACTORIES",
     "compare_configs",
+    "default_jobs",
     "default_measure",
     "default_warmup",
-    "reduced_acb_config",
-    "run_workload",
+    "experiments",
+    "format_manifest",
     "format_table",
     "geomean",
+    "get_active_cache",
+    "last_manifest",
+    "normalized_run_key",
     "pct",
     "per_category",
-    "experiments",
+    "reduced_acb_config",
+    "run_matrix",
+    "run_workload",
+    "session_manifests",
+    "set_active_cache",
+    "summarize_manifests",
 ]

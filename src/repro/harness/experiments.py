@@ -9,16 +9,14 @@ EXPERIMENTS.md records paper-vs-measured for each.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.acb import AcbScheme, storage_report, PAPER_TOTAL_BYTES
-from repro.core import Core, SKYLAKE_LIKE
+from repro.acb import PAPER_TOTAL_BYTES, AcbScheme, storage_report
+from repro.core import SKYLAKE_LIKE, Core
+from repro.harness.parallel import RunRequest, run_matrix
 from repro.harness.reporting import geomean, per_category
-from repro.harness.runner import (
-    compare_configs,
-    reduced_acb_config,
-    run_workload,
-)
+from repro.harness.runner import compare_configs, reduced_acb_config
 from repro.program.cfg import find_reconvergence
 from repro.workloads import REPRESENTATIVE, load_suite, suite_specs
 from repro.workloads.suite import categories as suite_categories
@@ -49,10 +47,26 @@ def fig1_scaling_potential(
 ) -> Dict:
     """Speedup of an oracle predictor over TAGE at growing OOO scale."""
     names = experiment_workloads(names)
+    # one flat matrix across every (scale × workload × config) cell so the
+    # parallel layer sees the whole figure at once
+    requests = [
+        RunRequest(workload=name, config=config, core_scale=scale)
+        for scale in scales
+        for name in names
+        for config in ("baseline", "oracle-bp")
+    ]
+    results = run_matrix(requests)
+    by_cell = {
+        (req.core_scale, req.workload, req.config): res
+        for req, res in zip(requests, results)
+    }
     series = {}
     for scale in scales:
-        results = compare_configs(names, ["baseline", "oracle-bp"], core_scale=scale)
-        speedups = _speedups(results, "oracle-bp")
+        speedups = {
+            name: by_cell[(scale, name, "baseline")].stats.cycles
+            / by_cell[(scale, name, "oracle-bp")].stats.cycles
+            for name in names
+        }
         series[scale] = {
             "per_workload": speedups,
             "geomean": geomean(speedups.values()),
@@ -302,10 +316,25 @@ def sec5d_core_scaling(
 ) -> Dict:
     """ACB's gain grows on a wider/deeper core (8.0% → 8.6% in the paper)."""
     names = experiment_workloads(names)
-    gains = {}
-    for scale in scales:
-        results = compare_configs(names, ["baseline", "acb"], core_scale=scale)
-        gains[scale] = geomean(_speedups(results, "acb").values())
+    requests = [
+        RunRequest(workload=name, config=config, core_scale=scale)
+        for scale in scales
+        for name in names
+        for config in ("baseline", "acb")
+    ]
+    results = run_matrix(requests)
+    by_cell = {
+        (req.core_scale, req.workload, req.config): res
+        for req, res in zip(requests, results)
+    }
+    gains = {
+        scale: geomean(
+            by_cell[(scale, name, "baseline")].stats.cycles
+            / by_cell[(scale, name, "acb")].stats.cycles
+            for name in names
+        )
+        for scale in scales
+    }
     return {"gain_by_scale": gains}
 
 
@@ -329,18 +358,28 @@ def sec5e_power_proxies(names: Optional[Sequence[str]] = None) -> Dict:
 # ======================================================================
 # Ablations (DESIGN.md §7)
 # ======================================================================
+def _acb_sweep(name: str, field: str, values: Sequence) -> Dict:
+    """Baseline + one ACB variant per *field* value, as one parallel matrix."""
+    requests = [RunRequest(workload=name, config="baseline")] + [
+        RunRequest(
+            workload=name,
+            config="acb",
+            acb_config=replace(reduced_acb_config(), **{field: value}),
+        )
+        for value in values
+    ]
+    results = run_matrix(requests)
+    base = results[0].stats.cycles
+    return {
+        value: base / res.stats.cycles for value, res in zip(values, results[1:])
+    }
+
+
 def ablation_epoch_length(
     name: str = "eembc", epochs: Sequence[int] = (400, 800, 1600, 3200)
 ) -> Dict:
     """Dynamo epoch-length sweep (paper: 8K–32K optimal at full scale)."""
-    from dataclasses import replace
-
-    base = run_workload(name, "baseline")
-    rows = {}
-    for epoch in epochs:
-        cfg = replace(reduced_acb_config(), epoch_length=epoch)
-        res = run_workload(name, "acb", acb_config=cfg)
-        rows[epoch] = base.stats.cycles / res.stats.cycles
+    rows = _acb_sweep(name, "epoch_length", epochs)
     return {"workload": name, "speedup_by_epoch": rows}
 
 
@@ -348,14 +387,7 @@ def ablation_cycle_factor(
     name: str = "eembc", factors: Sequence[float] = (0.03125, 0.125, 0.5)
 ) -> Dict:
     """Dynamo cycle-change-factor sweep (paper optimum: 1/8)."""
-    from dataclasses import replace
-
-    base = run_workload(name, "baseline")
-    rows = {}
-    for factor in factors:
-        cfg = replace(reduced_acb_config(), cycle_change_factor=factor)
-        res = run_workload(name, "acb", acb_config=cfg)
-        rows[factor] = base.stats.cycles / res.stats.cycles
+    rows = _acb_sweep(name, "cycle_change_factor", factors)
     return {"workload": name, "speedup_by_factor": rows}
 
 
@@ -363,14 +395,7 @@ def ablation_learning_limit(
     name: str = "gcc", limits: Sequence[int] = (10, 20, 40, 80)
 ) -> Dict:
     """Convergence-scan limit N sweep (paper: N = 40 optimal)."""
-    from dataclasses import replace
-
-    base = run_workload(name, "baseline")
-    rows = {}
-    for limit in limits:
-        cfg = replace(reduced_acb_config(), learning_limit=limit)
-        res = run_workload(name, "acb", acb_config=cfg)
-        rows[limit] = base.stats.cycles / res.stats.cycles
+    rows = _acb_sweep(name, "learning_limit", limits)
     return {"workload": name, "speedup_by_limit": rows}
 
 
@@ -378,15 +403,11 @@ def ablation_acb_table_size(
     name: str = "sjeng", sets: Sequence[int] = (4, 16, 64, 128)
 ) -> Dict:
     """ACB-table size sweep (paper: 32 → 256 entries ≈ flat)."""
-    from dataclasses import replace
-
-    base = run_workload(name, "baseline")
-    rows = {}
-    for nsets in sets:
-        cfg = replace(reduced_acb_config(), acb_sets=nsets)
-        res = run_workload(name, "acb", acb_config=cfg)
-        rows[nsets * 2] = base.stats.cycles / res.stats.cycles
-    return {"workload": name, "speedup_by_entries": rows}
+    rows = _acb_sweep(name, "acb_sets", sets)
+    return {
+        "workload": name,
+        "speedup_by_entries": {nsets * 2: ratio for nsets, ratio in rows.items()},
+    }
 
 
 def ablation_select_uops(names: Optional[Sequence[str]] = None) -> Dict:
@@ -458,15 +479,25 @@ def predictor_sensitivity(
     predictor's own baseline.
     """
     names = experiment_workloads(names)
+    requests = [
+        RunRequest(workload=name, config=config, predictor=predictor)
+        for predictor in predictors
+        for name in names
+        for config in ("baseline", "acb")
+    ]
+    results = run_matrix(requests)
+    by_cell = {
+        (req.predictor, req.workload, req.config): res
+        for req, res in zip(requests, results)
+    }
     out = {}
     for predictor in predictors:
-        speedups = []
-        mpki = []
-        for name in names:
-            base = run_workload(name, "baseline", predictor=predictor)
-            acb = run_workload(name, "acb", predictor=predictor)
-            speedups.append(base.stats.cycles / acb.stats.cycles)
-            mpki.append(base.stats.mpki)
+        speedups = [
+            by_cell[(predictor, name, "baseline")].stats.cycles
+            / by_cell[(predictor, name, "acb")].stats.cycles
+            for name in names
+        ]
+        mpki = [by_cell[(predictor, name, "baseline")].stats.mpki for name in names]
         out[predictor] = {
             "acb_gain": geomean(speedups),
             "baseline_mpki": sum(mpki) / len(mpki),
@@ -506,16 +537,23 @@ def related_work_ordering(names: Optional[Sequence[str]] = None) -> Dict:
 
 def ablation_rob_proximity(names: Optional[Sequence[str]] = None) -> Dict:
     """Frequency filter alone vs with the ROB-proximity refinement."""
-    from dataclasses import replace
-
     names = experiment_workloads(names)
+    flags = (False, True)
+    requests = [RunRequest(workload=name) for name in names] + [
+        RunRequest(
+            workload=name,
+            config="acb",
+            acb_config=replace(reduced_acb_config(), use_rob_proximity=flag),
+        )
+        for flag in flags
+        for name in names
+    ]
+    results = run_matrix(requests)
+    base_cycles = {res.workload: res.stats.cycles for res in results[: len(names)]}
     rows = {}
-    for flag in (False, True):
-        cfg = replace(reduced_acb_config(), use_rob_proximity=flag)
-        speedups = []
-        for name in names:
-            base = run_workload(name, "baseline")
-            res = run_workload(name, "acb", acb_config=cfg)
-            speedups.append(base.stats.cycles / res.stats.cycles)
-        rows["with_proximity" if flag else "frequency_only"] = geomean(speedups)
+    for i, flag in enumerate(flags):
+        chunk = results[(1 + i) * len(names) : (2 + i) * len(names)]
+        rows["with_proximity" if flag else "frequency_only"] = geomean(
+            base_cycles[res.workload] / res.stats.cycles for res in chunk
+        )
     return rows

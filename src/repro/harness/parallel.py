@@ -1,0 +1,329 @@
+"""Parallel fan-out over the experiment matrix.
+
+Every figure driver ultimately evaluates a matrix of independent
+(workload × configuration × scale) simulation cells.  This module is the
+single submission point for such matrices: it deduplicates cells against
+the in-process memo and the persistent disk cache
+(:mod:`repro.harness.cache`), fans the remaining cells out over a
+``ProcessPoolExecutor``, and records a per-matrix *run manifest* (cells
+simulated vs. cache hits, wall-time per cell).
+
+Worker count comes from the ``jobs`` argument, else the ``REPRO_JOBS``
+environment variable, else ``os.cpu_count()``.  ``REPRO_JOBS=1`` — and any
+request that cannot be pickled, e.g. an ad-hoc :class:`Workload` subclass
+defined in a test body — falls back to serial in-process execution, which
+is bit-identical because the simulator is deterministic and each cell is
+independently seeded.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+from repro.acb import AcbConfig
+from repro.core import CoreConfig
+from repro.harness import cache as result_cache
+from repro.harness.runner import (
+    RunResult,
+    lookup_cached,
+    normalized_run_key,
+    run_workload,
+    store_result,
+)
+from repro.workloads import Workload
+
+__all__ = [
+    "CellRecord",
+    "MatrixManifest",
+    "RunRequest",
+    "default_jobs",
+    "last_manifest",
+    "reset_manifests",
+    "run_matrix",
+    "session_manifests",
+    "shutdown_pool",
+]
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One cell of an experiment matrix (the arguments of ``run_workload``)."""
+
+    workload: Union[str, Workload]
+    config: str = "baseline"
+    core_scale: int = 1
+    predictor: Optional[str] = None
+    warmup: Optional[int] = None
+    measure: Optional[int] = None
+    acb_config: Optional[AcbConfig] = None
+    core_config: Optional[CoreConfig] = None
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload if isinstance(self.workload, str) else self.workload.name
+
+    def memo_key(self) -> Optional[tuple]:
+        """Normalized cache key, or ``None`` for uncacheable ad-hoc cells."""
+        if not isinstance(self.workload, str):
+            return None
+        if self.acb_config is not None or self.core_config is not None:
+            return None
+        return normalized_run_key(
+            self.workload,
+            self.config,
+            self.core_scale,
+            self.predictor,
+            self.warmup,
+            self.measure,
+        )
+
+    def kwargs(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "core_scale": self.core_scale,
+            "predictor": self.predictor,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "acb_config": self.acb_config,
+            "core_config": self.core_config,
+        }
+
+
+@dataclass
+class CellRecord:
+    """How one matrix cell was satisfied."""
+
+    workload: str
+    config: str
+    source: str          # "run" | "memo" | "cache" | "dedup"
+    wall_time: float = 0.0
+
+
+@dataclass
+class MatrixManifest:
+    """Accounting for one ``run_matrix`` invocation."""
+
+    jobs: int = 1
+    wall_time: float = 0.0
+    cells: List[CellRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for c in self.cells if c.source == "run")
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.source in ("memo", "cache", "dedup"))
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.cells else 0.0
+
+
+#: manifests of every matrix submitted in this process, in order.
+_MANIFESTS: List[MatrixManifest] = []
+
+
+def last_manifest() -> Optional[MatrixManifest]:
+    return _MANIFESTS[-1] if _MANIFESTS else None
+
+
+def session_manifests() -> List[MatrixManifest]:
+    return list(_MANIFESTS)
+
+
+def reset_manifests() -> None:
+    _MANIFESTS.clear()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _execute_cell(request: RunRequest):
+    """Pool worker: simulate one cell, reporting its wall time.
+
+    Disk cache lookups/stores happen in the parent (which already probed
+    the cache before submitting), so workers run with caching disabled —
+    this also keeps forked workers from using a stale inherited handle.
+    """
+    result_cache.set_active_cache(None)
+    start = time.monotonic()
+    result = run_workload(**request.kwargs())
+    return result, time.monotonic() - start
+
+
+def _cell_error(request: RunRequest, exc: BaseException) -> RuntimeError:
+    return RuntimeError(
+        f"simulation cell {request.workload_name!r} × {request.config!r} "
+        f"failed: {type(exc).__name__}: {exc}"
+    )
+
+
+# ----------------------------------------------------------------------
+# a lazily-created, reusable worker pool
+# ----------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS: int = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS != jobs:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (tests; end of process)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def run_matrix(
+    requests: List[RunRequest],
+    jobs: Optional[int] = None,
+) -> List[RunResult]:
+    """Evaluate a full experiment matrix, results in request order.
+
+    Cells already satisfied by the memo or the disk cache are not
+    re-simulated; duplicate cells within one matrix are simulated once.
+    The accounting is appended to the session manifests
+    (:func:`last_manifest`).
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    manifest = MatrixManifest(jobs=jobs)
+    started = time.monotonic()
+
+    results: List[Optional[RunResult]] = [None] * len(requests)
+    records: List[Optional[CellRecord]] = [None] * len(requests)
+    pending: List[int] = []
+    first_for_key: Dict[tuple, int] = {}
+
+    for i, request in enumerate(requests):
+        key = request.memo_key()
+        if key is not None:
+            owner = first_for_key.setdefault(key, i)
+            if owner != i:
+                records[i] = CellRecord(
+                    request.workload_name, request.config, "dedup"
+                )
+                continue
+            cached, source = lookup_cached(key)
+            if cached is not None:
+                results[i] = _relabelled(cached, request)
+                records[i] = CellRecord(
+                    request.workload_name, request.config, source
+                )
+                continue
+        pending.append(i)
+
+    if jobs <= 1 or len(pending) <= 1:
+        _run_serial(requests, pending, results, records)
+    else:
+        serial_ids = [i for i in pending if not _is_picklable(requests[i])]
+        skip = set(serial_ids)
+        pool_ids = [i for i in pending if i not in skip]
+        _run_pool(requests, pool_ids, results, records, jobs)
+        _run_serial(requests, serial_ids, results, records)
+
+    # duplicate cells inherit the owner's result under their own label
+    for i, request in enumerate(requests):
+        if results[i] is None and records[i] is not None and records[i].source == "dedup":
+            owner = first_for_key[request.memo_key()]
+            results[i] = _relabelled(results[owner], request)
+
+    manifest.cells = [r for r in records if r is not None]
+    manifest.wall_time = time.monotonic() - started
+    _MANIFESTS.append(manifest)
+    return results  # type: ignore[return-value]
+
+
+def _relabelled(result: RunResult, request: RunRequest) -> RunResult:
+    if result.config == request.config:
+        return result
+    return replace(result, config=request.config)
+
+
+def _is_picklable(request: RunRequest) -> bool:
+    try:
+        pickle.dumps(request)
+        return True
+    except Exception:
+        return False
+
+
+def _run_serial(requests, ids, results, records) -> None:
+    for i in ids:
+        request = requests[i]
+        start = time.monotonic()
+        try:
+            results[i] = run_workload(**request.kwargs())
+        except Exception as exc:
+            raise _cell_error(request, exc) from exc
+        records[i] = CellRecord(
+            request.workload_name, request.config, "run",
+            time.monotonic() - start,
+        )
+
+
+def _run_pool(requests, ids, results, records, jobs) -> None:
+    if not ids:
+        return
+    pool = _get_pool(jobs)
+    futures = {}
+    try:
+        for i in ids:
+            futures[pool.submit(_execute_cell, requests[i])] = i
+    except BrokenProcessPool as exc:
+        shutdown_pool()
+        raise RuntimeError(f"worker pool died while submitting cells: {exc}") from exc
+    for future, i in futures.items():
+        request = requests[i]
+        try:
+            result, elapsed = future.result()
+        except BrokenProcessPool as exc:
+            for other in futures:
+                other.cancel()
+            shutdown_pool()
+            raise _cell_error(request, exc) from exc
+        except Exception as exc:
+            for other in futures:
+                other.cancel()
+            raise _cell_error(request, exc) from exc
+        results[i] = result
+        records[i] = CellRecord(request.workload_name, request.config, "run", elapsed)
+        key = request.memo_key()
+        if key is not None:
+            store_result(key, result)

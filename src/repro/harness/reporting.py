@@ -23,14 +23,54 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     """Plain-text table with right-padded columns."""
     str_rows = [[str(c) for c in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        max(len(headers[i]), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(headers[i])
         for i in range(len(headers))
     ]
+
     def fmt(cells):
         return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(r) for r in str_rows)
     return "\n".join(lines)
+
+
+def format_manifest(manifest, top: int = 5) -> str:
+    """Human-readable run manifest for one experiment matrix.
+
+    Shows the run/hit split and the *top* slowest simulated cells — the
+    cells worth caching, sharding, or shrinking first.
+    """
+    lines = [
+        f"matrix: {manifest.total} cells — {manifest.simulated} simulated, "
+        f"{manifest.cache_hits} cache hits ({manifest.hit_rate:.0%}), "
+        f"jobs={manifest.jobs}, wall {manifest.wall_time:.2f}s"
+    ]
+    ran = sorted(
+        (c for c in manifest.cells if c.source == "run"),
+        key=lambda c: c.wall_time,
+        reverse=True,
+    )
+    for cell in ran[:top]:
+        lines.append(
+            f"  {cell.wall_time:6.2f}s  {cell.workload} × {cell.config}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_manifests(manifests: Sequence) -> str:
+    """One-line aggregate over every matrix submitted this session."""
+    total = sum(m.total for m in manifests)
+    if not total:
+        return "matrix summary: no cells submitted"
+    simulated = sum(m.simulated for m in manifests)
+    hits = sum(m.cache_hits for m in manifests)
+    wall = sum(m.wall_time for m in manifests)
+    return (
+        f"matrix summary: {total} cells — {simulated} simulated, "
+        f"{hits} cache hits ({hits / total:.0%}), wall {wall:.2f}s"
+    )
 
 
 def per_category(

@@ -9,19 +9,27 @@ measurement window.
 Window sizes default to the reduced scale of DESIGN.md §6 and can be
 overridden through the ``REPRO_WARMUP`` / ``REPRO_MEASURE`` environment
 variables (or per call).
+
+Completed runs are memoized in-process and, when a cache is installed via
+:mod:`repro.harness.cache`, persisted to disk so repeated invocations skip
+already-simulated cells.  Both layers share the same *normalized* key (see
+:func:`normalized_run_key`): configurations that denote the identical
+simulation — e.g. ``oracle-bp`` versus ``baseline`` with an explicit
+``predictor="oracle"`` — collapse to one entry.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.acb import AcbConfig, AcbScheme
 from repro.baselines import DhpScheme, DmpPbhScheme, DmpScheme, WishScheme
-from repro.core import Core, CoreConfig, SKYLAKE_LIKE, scaled
+from repro.core import SKYLAKE_LIKE, Core, CoreConfig, scaled
 from repro.core.predication import PredicationScheme
 from repro.core.stats import SimStats
+from repro.harness import cache as result_cache
 from repro.workloads import Workload, load_suite
 
 
@@ -74,14 +82,79 @@ class RunResult:
         return self.stats.ipc
 
 
+def normalized_run_key(
+    workload: str,
+    config: str,
+    core_scale: int = 1,
+    predictor: Optional[str] = None,
+    warmup: Optional[int] = None,
+    measure: Optional[int] = None,
+) -> Tuple[str, str, int, Optional[str], int, int]:
+    """Canonical memo/cache key for a suite-workload run.
+
+    ``oracle-bp`` is ``baseline`` with the predictor forcibly swapped to
+    ``oracle`` — any ``predictor`` argument is ignored by the simulator.
+    Normalizing here means the two spellings share one cache cell instead
+    of aliasing (``oracle-bp`` + stale predictor in the key) or missing
+    (re-simulating a ``predictor="oracle"`` baseline already on disk).
+    """
+    if config == "oracle-bp":
+        config, predictor = "baseline", "oracle"
+    return (
+        workload,
+        config,
+        core_scale,
+        predictor,
+        warmup if warmup is not None else default_warmup(),
+        measure if measure is not None else default_measure(),
+    )
+
+
 #: memo of completed runs — simulations are deterministic, so experiments
-#: sharing a (workload, config, scale, window) tuple reuse results.  Keyed
-#: only for suite workloads addressed by name with default core/ACB config.
+#: sharing a normalized (workload, config, scale, predictor, window) tuple
+#: reuse results.  Keyed only for suite workloads addressed by name with
+#: default core/ACB config.
 _MEMO: Dict[tuple, "RunResult"] = {}
 
 
 def clear_memo() -> None:
     _MEMO.clear()
+
+
+def memo_size() -> int:
+    return len(_MEMO)
+
+
+def store_result(memo_key: tuple, result: RunResult) -> None:
+    """Record *result* in the memo and (when installed) the disk cache."""
+    _MEMO[memo_key] = result
+    disk = result_cache.get_active_cache()
+    if disk is not None:
+        disk.put(memo_key, result)
+
+
+def _relabel(result: RunResult, config: str) -> RunResult:
+    """Return *result* presented under the caller's configuration name."""
+    if result.config == config:
+        return result
+    return replace(result, config=config)
+
+
+def lookup_cached(memo_key: tuple) -> Tuple[Optional[RunResult], Optional[str]]:
+    """Probe memo then disk cache for *memo_key*.
+
+    Returns ``(result, source)`` where source is ``"memo"``, ``"cache"`` or
+    ``None``.  Disk hits are promoted into the in-process memo.
+    """
+    if memo_key in _MEMO:
+        return _MEMO[memo_key], "memo"
+    disk = result_cache.get_active_cache()
+    if disk is not None:
+        hit = disk.get(memo_key)
+        if hit is not None:
+            _MEMO[memo_key] = hit
+            return hit, "cache"
+    return None, None
 
 
 def run_workload(
@@ -97,22 +170,20 @@ def run_workload(
     """Run one workload under one named configuration."""
     memo_key = None
     if isinstance(workload, str) and core_config is None and acb_config is None:
-        memo_key = (
-            workload,
-            config,
-            core_scale,
-            predictor,
-            warmup if warmup is not None else default_warmup(),
-            measure if measure is not None else default_measure(),
+        memo_key = normalized_run_key(
+            workload, config, core_scale, predictor, warmup, measure
         )
-        if memo_key in _MEMO:
-            return _MEMO[memo_key]
+        cached, _source = lookup_cached(memo_key)
+        if cached is not None:
+            return _relabel(cached, config)
     if isinstance(workload, str):
         (workload_obj,) = load_suite([workload])
     else:
         workload_obj = workload
     if config not in SCHEME_FACTORIES:
-        raise ValueError(f"unknown config {config!r}; choose from {sorted(SCHEME_FACTORIES)}")
+        raise ValueError(
+            f"unknown config {config!r}; choose from {sorted(SCHEME_FACTORIES)}"
+        )
 
     if acb_config is not None and config.startswith("acb"):
         scheme: Optional[PredicationScheme] = AcbScheme(acb_config)
@@ -134,7 +205,7 @@ def run_workload(
         stats=stats,
     )
     if memo_key is not None:
-        _MEMO[memo_key] = result
+        store_result(memo_key, result)
     return result
 
 
@@ -145,11 +216,21 @@ def compare_configs(
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every workload in *names* under every configuration.
 
-    Returns ``{workload: {config: RunResult}}``.
+    The full matrix is submitted through :mod:`repro.harness.parallel`
+    (worker count from ``REPRO_JOBS``); with one job it degenerates to the
+    original serial loop.  Returns ``{workload: {config: RunResult}}``.
     """
-    out: Dict[str, Dict[str, RunResult]] = {}
-    for name in names:
-        out[name] = {}
-        for config in configs:
-            out[name][config] = run_workload(name, config, **kwargs)
+    from repro.harness.parallel import RunRequest, run_matrix
+
+    names = list(names)
+    configs = list(configs)
+    requests = [
+        RunRequest(workload=name, config=config, **kwargs)
+        for name in names
+        for config in configs
+    ]
+    results = run_matrix(requests)
+    out: Dict[str, Dict[str, RunResult]] = {name: {} for name in names}
+    for request, result in zip(requests, results):
+        out[request.workload][request.config] = result
     return out

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Keep the unit suite hermetic: no persistent result cache unless a test
+# opts in explicitly (the CLI honours REPRO_CACHE via ResultCache.from_env).
+os.environ.setdefault("REPRO_CACHE", "0")
 
 from repro.program import ProgramBuilder
 from repro.workloads import Bernoulli, Periodic, UniformRandom, Workload

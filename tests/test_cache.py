@@ -1,0 +1,168 @@
+"""Tests for the persistent result cache (harness/cache.py)."""
+
+import json
+
+import pytest
+
+import repro.harness.cache as cache_mod
+from repro.core.stats import BranchPCStats, SimStats
+from repro.harness.cache import ResultCache, set_active_cache
+from repro.harness.runner import (
+    clear_memo,
+    normalized_run_key,
+    run_workload,
+)
+
+FAST = dict(warmup=800, measure=1200)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A fresh enabled cache installed as the process-wide active cache."""
+    cache = ResultCache(tmp_path / "cache")
+    previous = set_active_cache(cache)
+    clear_memo()
+    yield cache
+    set_active_cache(previous)
+    clear_memo()
+
+
+def _key(config="baseline", **kwargs):
+    return normalized_run_key("lammps", config, warmup=800, measure=1200, **kwargs)
+
+
+class TestStatsRoundTrip:
+    def test_simstats_roundtrip(self):
+        stats = run_workload("lammps", "acb", **FAST).stats
+        assert stats.per_branch, "expected per-branch profiles"
+        clone = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+        assert clone.per_branch == stats.per_branch
+
+    def test_branch_pc_stats_roundtrip(self):
+        stats = BranchPCStats(executed=10, mispredicted=3, predicated=1)
+        assert BranchPCStats.from_dict(stats.to_dict()) == stats
+
+    def test_unknown_fields_ignored(self):
+        data = SimStats(cycles=10, instructions=5).to_dict()
+        data["counter_from_the_future"] = 1
+        assert SimStats.from_dict(data).cycles == 10
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, cache):
+        first = run_workload("lammps", "baseline", **FAST)
+        assert cache.counters.stores == 1
+        clear_memo()  # fresh process: only the disk copy remains
+        second = run_workload("lammps", "baseline", **FAST)
+        assert cache.counters.hits == 1
+        assert second.stats == first.stats
+
+    def test_distinct_windows_are_distinct_cells(self, cache):
+        run_workload("lammps", "baseline", warmup=800, measure=1200)
+        run_workload("lammps", "baseline", warmup=800, measure=1300)
+        assert cache.counters.stores == 2
+
+    def test_oracle_bp_and_explicit_oracle_share_one_cell(self, cache):
+        assert _key("oracle-bp") == _key("baseline", predictor="oracle")
+        oracle_bp = run_workload("lammps", "oracle-bp", **FAST)
+        clear_memo()
+        explicit = run_workload("lammps", "baseline", predictor="oracle", **FAST)
+        assert cache.counters.stores == 1, "second spelling must not re-simulate"
+        assert cache.counters.hits == 1
+        assert explicit.stats == oracle_bp.stats
+        # each caller still sees its own configuration label
+        assert oracle_bp.config == "oracle-bp"
+        assert explicit.config == "baseline"
+
+    def test_ad_hoc_configs_bypass_cache(self, cache):
+        from repro.harness.runner import reduced_acb_config
+
+        run_workload("lammps", "acb", acb_config=reduced_acb_config(), **FAST)
+        assert cache.counters.stores == 0
+
+
+class TestInvalidation:
+    def test_schema_version_invalidates(self, cache, monkeypatch):
+        run_workload("lammps", "baseline", **FAST)
+        clear_memo()
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 999_999)
+        assert cache.get(_key()) is None
+        run_workload("lammps", "baseline", **FAST)
+        assert cache.counters.stores == 2, "stale schema must re-simulate"
+
+    def test_stale_schema_in_payload_is_a_miss(self, cache):
+        run_workload("lammps", "baseline", **FAST)
+        path = cache.path_for(_key())
+        payload = json.loads(path.read_text())
+        payload["schema"] = -1
+        path.write_text(json.dumps(payload))
+        clear_memo()
+        assert cache.get(_key()) is None
+
+    def test_corrupted_file_warns_and_reruns(self, cache):
+        run_workload("lammps", "baseline", **FAST)
+        cache.path_for(_key()).write_text("{not json")
+        clear_memo()
+        with pytest.warns(RuntimeWarning, match="corrupted cache file"):
+            result = run_workload("lammps", "baseline", **FAST)
+        assert result.stats.cycles > 0
+        assert cache.counters.errors == 1
+
+    def test_truncated_payload_warns(self, cache):
+        run_workload("lammps", "baseline", **FAST)
+        path = cache.path_for(_key())
+        path.write_text(json.dumps({"schema": cache_mod.CACHE_SCHEMA_VERSION}))
+        with pytest.warns(RuntimeWarning, match="corrupted cache file"):
+            assert cache.get(_key()) is None
+
+
+class TestBypass:
+    def test_disabled_cache_touches_no_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", enabled=False)
+        previous = set_active_cache(cache)
+        try:
+            clear_memo()
+            run_workload("lammps", "baseline", **FAST)
+        finally:
+            set_active_cache(previous)
+            clear_memo()
+        assert not (tmp_path / "cache").exists()
+        assert cache.counters.stores == 0
+
+    def test_from_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not ResultCache.from_env().enabled
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert not ResultCache.from_env().enabled
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert ResultCache.from_env().enabled
+
+    def test_from_env_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultCache.from_env().cache_dir == tmp_path / "elsewhere"
+
+
+class TestCli:
+    def test_no_cache_flag_bypasses(self, monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_WARMUP", "800")
+        monkeypatch.setenv("REPRO_MEASURE", "1200")
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        clear_memo()
+        assert main(["--no-cache", "run", "lammps", "--config", "baseline"]) == 0
+        assert not (tmp_path / ".repro_cache").exists()
+
+    def test_cache_dir_flag(self, monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_WARMUP", "800")
+        monkeypatch.setenv("REPRO_MEASURE", "1200")
+        clear_memo()
+        cache_dir = tmp_path / "cli-cache"
+        assert main(
+            ["--cache-dir", str(cache_dir), "run", "lammps", "--config", "baseline"]
+        ) == 0
+        assert list(cache_dir.glob("*.json"))
