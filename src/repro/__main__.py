@@ -12,6 +12,10 @@ Commands
 ``experiment NAME``
     Run one figure/table driver (``fig6``, ``fig8``, ``table1`` ...) and
     print its structured result.
+``validate [--seeds 50] [--budget 120s]``
+    Differential fuzzing: cross-check golden vs. baseline vs. ACB
+    retirement traces on seeded random programs, shrinking any failure to
+    a minimal reproducer on disk (see docs/validation.md).
 
 Global options
 --------------
@@ -100,6 +104,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str) -> float:
+    """Parse a wall-clock budget like ``120``, ``120s``, or ``2m``."""
+    text = text.strip().lower()
+    factor = 1.0
+    if text.endswith("m"):
+        factor, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid budget {text!r}; use e.g. 90, 120s, or 2m"
+        ) from None
+    return value * factor
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate.fuzz import replay_file, run_fuzz
+
+    if args.replay:
+        failure = replay_file(args.replay)
+        if failure is None:
+            print(f"{args.replay}: passes (no divergence, no violations)")
+            return 0
+        print(f"{args.replay}: still failing\n  {failure.describe()}")
+        return 1
+
+    configs = tuple(c.strip() for c in args.configs.split(",") if c.strip())
+    report = run_fuzz(
+        seeds=args.seeds,
+        start_seed=args.start_seed,
+        configs=configs,
+        instructions=args.instructions,
+        budget_s=args.budget,
+        shrink=not args.no_shrink,
+        repro_dir=args.repro_dir,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    status = "OK" if report.ok else "FAIL"
+    tail = " (budget exhausted)" if report.budget_exhausted else ""
+    print(
+        f"validate: {status} — {report.completed}/{report.requested} seeds, "
+        f"{len(report.failures)} failure(s), configs={','.join(configs)}, "
+        f"{report.elapsed:.1f}s{tail}"
+    )
+    for fail in report.failures:
+        print(f"  seed {fail.seed}: {fail.failure.describe()}")
+        if fail.repro_path:
+            print(f"    reproducer: {fail.repro_path}")
+    return 0 if report.ok else 1
+
+
 def _report_manifests() -> None:
     manifests = session_manifests()
     if manifests:
@@ -144,6 +201,27 @@ def main(argv=None) -> int:
     p_exp = sub.add_parser("experiment", help="run a figure/table driver")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_val = sub.add_parser(
+        "validate", help="differential fuzzing of the timing engine"
+    )
+    p_val.add_argument("--seeds", type=int, default=50,
+                       help="number of random programs to cross-check")
+    p_val.add_argument("--start-seed", type=int, default=0,
+                       help="first seed of the campaign")
+    p_val.add_argument("--budget", type=_parse_budget, default=None,
+                       metavar="TIME", help="wall-clock budget, e.g. 120s or 2m")
+    p_val.add_argument("--configs", default="baseline,acb",
+                       help="comma-separated timing configurations to check")
+    p_val.add_argument("--instructions", type=int, default=1200,
+                       help="architectural instructions per program")
+    p_val.add_argument("--repro-dir", default=".repro_failures",
+                       help="directory for shrunk failure reproducers")
+    p_val.add_argument("--no-shrink", action="store_true",
+                       help="write failures without shrinking them first")
+    p_val.add_argument("--replay", default=None, metavar="FILE",
+                       help="re-run a written reproducer instead of fuzzing")
+    p_val.set_defaults(func=_cmd_validate)
 
     args = parser.parse_args(argv)
     if args.jobs is not None:

@@ -50,6 +50,13 @@ class CoreConfig:
     #: tests/test_engine_fastforward.py).
     fast_forward: bool = True
 
+    #: attach the pipeline invariant checker (repro.validate.checker) and
+    #: assert structural invariants every cycle, at every retirement, and at
+    #: every flush.  Observation only — timing results are identical — but
+    #: simulation slows down severalfold, so leave it off for benchmarks
+    #: (docs/validation.md quantifies the overhead).
+    debug_checks: bool = False
+
     def validate(self) -> None:
         positive = {
             "fetch_width": self.fetch_width,

@@ -50,6 +50,7 @@ from repro.isa.dyninst import (
     ST_SQUASHED,
 )
 from repro.memory import MemoryHierarchy
+from repro.validate.events import RetireEvent
 from repro.workloads.workload import FunctionalExecutor, Workload
 
 _WRONG_PATH_MEM_BASE = 1 << 32
@@ -106,6 +107,13 @@ class Core:
         self.retire_log: Optional[List[DynInst]] = None
         self._retire_log_cap = 0
         self._cycle_offset = 0
+        self.arch_trace: Optional[List[RetireEvent]] = None
+        self._arch_trace_cap = 0
+        self.checker = None
+        if config.debug_checks:
+            from repro.validate.checker import InvariantChecker
+
+            self.checker = InvariantChecker(self)
 
     # ==================================================================
     # Public driver
@@ -193,6 +201,8 @@ class Core:
         self._issue()
         self._allocate()
         self._fetch()
+        if self.checker is not None:
+            self.checker.on_cycle()
         self.cycle += 1
 
     def reset_stats(self) -> SimStats:
@@ -223,6 +233,15 @@ class Core:
         self._retire_log_cap = cap
         return self.retire_log
 
+    def enable_arch_trace(self, cap: int = 1 << 20) -> List[RetireEvent]:
+        """Record the architectural retirement trace for differential
+        validation: one :class:`RetireEvent` per retired instruction that is
+        neither predicated-false nor an injected select micro-op — exactly
+        the stream the golden in-order model produces."""
+        self.arch_trace = []
+        self._arch_trace_cap = cap
+        return self.arch_trace
+
     # ==================================================================
     # Retire
     # ==================================================================
@@ -234,6 +253,8 @@ class Core:
             return
         while budget and rob and rob[0].state == ST_DONE:
             dyn = rob.popleft()
+            if self.checker is not None:
+                self.checker.on_retire(dyn)
             dyn.state = ST_RETIRED
             self._last_retire_cycle = self.cycle
             self.stats.retired_uops += 1
@@ -247,6 +268,19 @@ class Core:
                 self.lq_count -= 1
             if not dyn.pred_false and dyn.acb_role != ROLE_SELECT:
                 self.stats.instructions += 1
+                if (
+                    self.arch_trace is not None
+                    and len(self.arch_trace) < self._arch_trace_cap
+                ):
+                    self.arch_trace.append(
+                        RetireEvent(
+                            pc=dyn.pc,
+                            dst=instr.dst,
+                            taken=dyn.taken if instr.is_branch else None,
+                            addr=dyn.mem_addr if instr.is_mem else None,
+                            store=instr.is_store,
+                        )
+                    )
             if self.retire_log is not None and len(self.retire_log) < self._retire_log_cap:
                 self.retire_log.append(dyn)
             if self.scheme is not None:
@@ -410,12 +444,16 @@ class Core:
         if self.region is not None:
             reg_branch = self.region.branch
             if reg_branch.seq > seqb or reg_branch is branch:
+                if self.checker is not None:
+                    self.checker.on_region_cancel(self.region)
                 self.region = None
             else:
                 self._mark_diverged(self.region)
                 self.region = None
         for seq in list(self.unresolved_regions):
             if seq > seqb:
+                if self.checker is not None:
+                    self.checker.on_region_cancel(self.unresolved_regions[seq])
                 del self.unresolved_regions[seq]
 
         # functional rewind for divergent predicated instances
@@ -430,6 +468,8 @@ class Core:
         self._release_blocked_loads()
         if self.scheme is not None:
             self.scheme.on_flush()
+        if self.checker is not None:
+            self.checker.on_flush(branch)
 
     def _mark_diverged(self, region: RegionRecord) -> None:
         branch = region.branch
@@ -438,6 +478,8 @@ class Core:
             branch.hold = False
             if branch.deps == 0 and branch.state == ST_ALLOCATED:
                 heapq.heappush(self._ready, (branch.seq, branch))
+        if self.checker is not None:
+            self.checker.on_region_close(region, diverged=True)
         if self.scheme is not None and not region.closed:
             region.closed = True
             self.scheme.on_region_closed(region, diverged=True)
@@ -692,6 +734,8 @@ class Core:
         branch = region.branch
         region.closed = True
         self.region = None
+        if self.checker is not None:
+            self.checker.on_region_close(region, diverged=diverged)
         if not diverged:
             if region.plan.select_uops:
                 self._inject_selects(region)
@@ -876,6 +920,8 @@ class Core:
         self.region = region
         self.unresolved_regions[dyn.seq] = region
         self.stats.predicated_instances += 1
+        if self.checker is not None:
+            self.checker.on_region_open(region)
         if self.scheme.updates_history_on_predication:
             self.bp.push_outcome(dyn.pc, actual)
         self.fetch_pc = instr.target if plan.first_taken else instr.fallthrough

@@ -46,6 +46,7 @@ __all__ = [
     "last_manifest",
     "reset_manifests",
     "run_matrix",
+    "run_tasks",
     "session_manifests",
     "shutdown_pool",
 ]
@@ -268,6 +269,51 @@ def run_matrix(
     manifest.wall_time = time.monotonic() - started
     _MANIFESTS.append(manifest)
     return results  # type: ignore[return-value]
+
+
+def run_tasks(fn, items, jobs: Optional[int] = None) -> List:
+    """Fan a picklable ``fn(item)`` out over the shared worker pool.
+
+    A generic sibling of :func:`run_matrix` for non-matrix work (e.g. the
+    differential fuzzer's one-cell-per-seed sweep): no caching, no
+    manifests — just ordered results.  Falls back to in-process serial
+    execution when ``jobs <= 1``, when there is a single item, or when
+    ``fn``/an item cannot be pickled.  The first task exception propagates
+    to the caller.
+    """
+    items = list(items)
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if jobs > 1 and len(items) > 1:
+        try:
+            pickle.dumps(fn)
+            for item in items:
+                pickle.dumps(item)
+        except Exception:
+            jobs = 1
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    pool = _get_pool(jobs)
+    try:
+        futures = [pool.submit(fn, item) for item in items]
+    except BrokenProcessPool as exc:
+        shutdown_pool()
+        raise RuntimeError(f"worker pool died while submitting tasks: {exc}") from exc
+    results = []
+    error: Optional[BaseException] = None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BrokenProcessPool as exc:
+            shutdown_pool()
+            raise RuntimeError(f"worker pool died mid-task: {exc}") from exc
+        except Exception as exc:
+            if error is None:
+                error = exc
+                for other in futures:
+                    other.cancel()
+    if error is not None:
+        raise error
+    return results
 
 
 def _relabelled(result: RunResult, request: RunRequest) -> RunResult:

@@ -1,0 +1,63 @@
+"""Differential validation subsystem.
+
+Three layers prove that a timing simulation retires the same architectural
+state as an in-order functional execution of the same program:
+
+* :mod:`repro.validate.golden` — golden in-order architectural executor
+  emitting the canonical retirement trace;
+* :mod:`repro.validate.checker` — per-cycle pipeline invariant checker,
+  attached to a core via ``CoreConfig.debug_checks``;
+* :mod:`repro.validate.differential` / :mod:`repro.validate.fuzz` — the
+  cross-checking drivers: golden vs. OOO-baseline vs. OOO+predication
+  retirement traces over hand-built or seeded random programs, with failure
+  shrinking (``python -m repro validate``).
+
+Only the dependency-light layers are imported eagerly so the core engine can
+import :mod:`repro.validate.events` without a cycle; the drivers (which pull
+in the engine and the harness) load on first attribute access.
+"""
+
+from repro.validate.checker import InvariantChecker, InvariantViolation
+from repro.validate.events import ArchState, RetireEvent, TraceMismatch, diff_traces
+from repro.validate.golden import GoldenExecutor, golden_state, golden_trace
+
+__all__ = [
+    "ArchState",
+    "GoldenExecutor",
+    "InvariantChecker",
+    "InvariantViolation",
+    "RetireEvent",
+    "TraceMismatch",
+    "diff_traces",
+    "golden_state",
+    "golden_trace",
+    # lazy (see __getattr__): differential / fuzz drivers
+    "ValidationFailure",
+    "check_workload",
+    "run_config_trace",
+    "fuzz_seed",
+    "random_spec",
+    "replay_file",
+    "run_fuzz",
+    "shrink_failure",
+]
+
+_LAZY = {
+    "ValidationFailure": "repro.validate.differential",
+    "check_workload": "repro.validate.differential",
+    "run_config_trace": "repro.validate.differential",
+    "fuzz_seed": "repro.validate.fuzz",
+    "random_spec": "repro.validate.fuzz",
+    "replay_file": "repro.validate.fuzz",
+    "run_fuzz": "repro.validate.fuzz",
+    "shrink_failure": "repro.validate.fuzz",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,150 @@
+"""Canonical retirement-trace vocabulary shared by the golden model and the
+timing engine.
+
+Architectural state in this simulator has no register *values* — branch
+outcomes and memory addresses come from behaviour processes, and ALU results
+are never materialized.  What *is* architecturally observable, and what every
+correct execution must therefore agree on, is the retirement stream itself:
+which PCs retire, in what order, which logical register each one writes,
+which direction every branch went, and which address every load reads and
+every store writes.  :class:`RetireEvent` captures exactly that tuple, and
+:class:`ArchState` folds a stream of them into a final register/memory image
+(registers and memory locations are identified by the PC of their last
+architectural writer).
+
+This module is deliberately dependency-free so the core engine can import it
+without pulling the rest of the validation subsystem into its import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class RetireEvent:
+    """One architecturally-retired instruction.
+
+    Predicated-false micro-ops, select micro-ops, and wrong-path work never
+    produce an event: they are microarchitectural artifacts, invisible to the
+    architectural state.
+    """
+
+    pc: int
+    dst: Optional[int] = None      # logical register written (None: no write)
+    taken: Optional[bool] = None   # branch direction (None: not a branch)
+    addr: Optional[int] = None     # byte address (loads/stores only)
+    store: bool = False            # True when *addr* is a store address
+
+    def brief(self) -> str:
+        parts = [f"pc={self.pc}"]
+        if self.dst is not None:
+            parts.append(f"dst=r{self.dst}")
+        if self.taken is not None:
+            parts.append(f"taken={self.taken}")
+        if self.addr is not None:
+            parts.append(f"{'st' if self.store else 'ld'}@{self.addr:#x}")
+        return " ".join(parts)
+
+
+class ArchState:
+    """Final architectural image reconstructed from a retirement trace.
+
+    ``regs[r]`` is the PC of the last instruction that wrote logical register
+    *r*; ``mem[addr]`` is the PC of the last store to byte address *addr*.
+    Two executions that retire the same trace necessarily converge to the
+    same image, so comparing images is a compressed (order-insensitive)
+    differential check useful in unit tests with hand-computed expectations.
+    """
+
+    def __init__(self) -> None:
+        self.regs: Dict[int, int] = {}
+        self.mem: Dict[int, int] = {}
+        self.retired = 0
+
+    def apply(self, event: RetireEvent) -> None:
+        self.retired += 1
+        if event.dst is not None:
+            self.regs[event.dst] = event.pc
+        if event.store and event.addr is not None:
+            self.mem[event.addr] = event.pc
+
+    def apply_all(self, events: Iterable[RetireEvent]) -> "ArchState":
+        for event in events:
+            self.apply(event)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArchState):
+            return NotImplemented
+        return self.regs == other.regs and self.mem == other.mem
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ArchState retired={self.retired} regs={self.regs} "
+            f"mem={len(self.mem)} lines>"
+        )
+
+
+@dataclass(frozen=True)
+class TraceMismatch:
+    """First point of divergence between two retirement traces."""
+
+    index: int                     # position of the first differing event
+    left_name: str
+    right_name: str
+    left: Optional[RetireEvent]    # None: that trace ended early
+    right: Optional[RetireEvent]
+    context: str = ""              # few events of surrounding context
+
+    def describe(self) -> str:
+        left = self.left.brief() if self.left is not None else "<end of trace>"
+        right = self.right.brief() if self.right is not None else "<end of trace>"
+        msg = (
+            f"retirement traces diverge at index {self.index}: "
+            f"{self.left_name}: {left}  !=  {self.right_name}: {right}"
+        )
+        if self.context:
+            msg += f"\n{self.context}"
+        return msg
+
+
+def diff_traces(
+    left: Iterable[RetireEvent],
+    right: Iterable[RetireEvent],
+    left_name: str = "left",
+    right_name: str = "right",
+    context: int = 3,
+) -> Optional[TraceMismatch]:
+    """Compare two traces event by event; ``None`` means they agree.
+
+    The shorter trace is treated as a prefix: a missing tail only mismatches
+    when the other side still has events (simulations stop mid-retire-group,
+    so drivers should pre-truncate to a common length when a length
+    difference is expected).
+    """
+    left_list = list(left)
+    right_list = list(right)
+    n = max(len(left_list), len(right_list))
+    for i in range(n):
+        a = left_list[i] if i < len(left_list) else None
+        b = right_list[i] if i < len(right_list) else None
+        if a == b:
+            continue
+        lo = max(0, i - context)
+        lines = []
+        for j in range(lo, min(n, i + context + 1)):
+            aj = left_list[j].brief() if j < len(left_list) else "<end>"
+            bj = right_list[j].brief() if j < len(right_list) else "<end>"
+            marker = ">>" if j == i else "  "
+            lines.append(f"{marker} [{j}] {left_name}: {aj:40s} {right_name}: {bj}")
+        return TraceMismatch(
+            index=i,
+            left_name=left_name,
+            right_name=right_name,
+            left=a,
+            right=b,
+            context="\n".join(lines),
+        )
+    return None

@@ -1,0 +1,72 @@
+"""Golden in-order architectural executor.
+
+Runs any workload *functionally* — no pipeline, no speculation, no
+predication — by stepping a fresh :class:`~repro.workloads.workload.
+FunctionalExecutor` one instruction at a time, and emits the canonical
+retirement trace (:class:`~repro.validate.events.RetireEvent` stream) that
+every timing configuration must reproduce.  Because the timing engine drives
+the *same* functional substrate from fetch, any divergence between a timing
+run's architectural retirement stream and the golden trace indicates a bug
+in the pipeline mechanics (rename checkpoints, flush recovery, predication
+transparency, region rewind), not in the workload.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.validate.events import ArchState, RetireEvent
+from repro.workloads.workload import FunctionalExecutor, Workload
+
+
+class GoldenExecutor:
+    """In-order, one-instruction-at-a-time architectural reference model."""
+
+    def __init__(self, workload: Workload, seed_offset: int = 0):
+        self.workload = workload
+        self.program = workload.program
+        self.func = FunctionalExecutor(workload, seed_offset)
+        self.state = ArchState()
+        self.trace: List[RetireEvent] = []
+
+    @property
+    def retired(self) -> int:
+        return self.state.retired
+
+    def step(self) -> RetireEvent:
+        """Execute and 'retire' the next architectural instruction."""
+        pc = self.func.next_pc
+        instr = self.program[pc]
+        result = self.func.step(pc)
+        event = RetireEvent(
+            pc=pc,
+            dst=instr.dst,
+            taken=result.taken if instr.is_branch else None,
+            addr=result.mem_addr if instr.is_mem else None,
+            store=instr.is_store,
+        )
+        self.state.apply(event)
+        self.trace.append(event)
+        return event
+
+    def run(self, count: int) -> List[RetireEvent]:
+        """Retire *count* more instructions; returns the full trace so far."""
+        for _ in range(count):
+            self.step()
+        return self.trace
+
+
+def golden_trace(
+    workload: Workload, count: int, seed_offset: int = 0
+) -> List[RetireEvent]:
+    """The first *count* events of the workload's canonical trace."""
+    return GoldenExecutor(workload, seed_offset).run(count)
+
+
+def golden_state(
+    workload: Workload, count: int, seed_offset: int = 0
+) -> ArchState:
+    """Final architectural image after *count* instructions."""
+    gold = GoldenExecutor(workload, seed_offset)
+    gold.run(count)
+    return gold.state

@@ -60,10 +60,13 @@ def _emit_body(
     op = b.mul if h.body_op == "mul" else b.alu
     store_at = length // 2 if h.store_in_body else -1
     feed_at = length - 1 if h.body_feeds_load else -1
+    store_behavior = f"{hname}_st" if h.shared_store else None
+    reg = _BODY_REGS[0]
     for i in range(length):
         reg = _BODY_REGS[i % max(1, min(h.live_outs, len(_BODY_REGS)))]
         if i == store_at:
-            b.store(srcs=(reg,), behavior=None, note=f"{hname}.{side}.store")
+            b.store(srcs=(reg,), behavior=store_behavior,
+                    note=f"{hname}.{side}.store")
         elif i == feed_at:
             b.alu(dst=12, srcs=(reg, 12), note=f"{hname}.{side}.addrfeed")
         elif i == 0:
@@ -71,6 +74,10 @@ def _emit_body(
         else:
             prev = _BODY_REGS[(i - 1) % max(1, min(h.live_outs, len(_BODY_REGS)))]
             op(dst=reg, srcs=(prev,), note=f"{hname}.{side}.{i}")
+    if h.carry_in_body:
+        # loop-carried dependence through the predicated arm: transparency
+        # must hand the previous R1 through when the arm is predicated false.
+        b.alu(dst=1, srcs=(1, reg), note=f"{hname}.{side}.carry")
 
 
 def _emit_hammock(
@@ -84,6 +91,12 @@ def _emit_hammock(
     hname = f"h{hi}"
     behaviors[hname] = _branch_behavior(hname, h, p_shift)
     join = f"join{hi}"
+    if h.store_in_body and h.shared_store:
+        # one address stream shared by every arm's store: arm choice decides
+        # the final memory image at these locations.
+        behaviors[f"{hname}_st"] = Strided(
+            f"{hname}_st", base=(hi + 5) << 22, stride=64, span=1 << 10
+        )
     if h.slow_source:
         # the branch condition comes from memory: a missy load makes the
         # branch resolve late, so predication stalls its whole region while
@@ -121,6 +134,22 @@ def _emit_hammock(
     elif h.shape == "if_else":
         b.cond_branch(f"tblk{hi}", behavior=hname, note=f"{hname}.branch")
         _emit_body(b, h, h.nt_len, hname, "nt")
+        b.jump(join, note=f"{hname}.jumper")
+        b.label(f"tblk{hi}")
+        _emit_body(b, h, h.taken_len, hname, "t")
+    elif h.shape == "nested_else":
+        # Type-2 with an inner hammock inside the NT arm: an asymmetric
+        # nested region whose inner reconvergence sits before the outer one.
+        b.cond_branch(f"tblk{hi}", behavior=hname, note=f"{hname}.branch")
+        first = max(1, h.nt_len // 2)
+        _emit_body(b, h, first, hname, "nt_a")
+        iname = f"{hname}_inner"
+        behaviors[iname] = Periodic(iname, (False, True, True))
+        b.cond_branch(f"iskip{hi}", behavior=iname, note=f"{hname}.inner")
+        b.alu(dst=6, srcs=(2,), note=f"{hname}.inner.0")
+        b.alu(dst=6, srcs=(6,), note=f"{hname}.inner.1")
+        b.label(f"iskip{hi}")
+        _emit_body(b, h, max(1, h.nt_len - first), hname, "nt_b")
         b.jump(join, note=f"{hname}.jumper")
         b.label(f"tblk{hi}")
         _emit_body(b, h, h.taken_len, hname, "t")

@@ -21,9 +21,11 @@ class HammockSpec:
     shape:
         ``"if"`` (Type-1), ``"if_else"`` (Type-2), ``"type3"`` (Type-3
         layout with the taken block placed after the join), ``"nested"``
-        (Type-1 with an inner predictable hammock), or ``"multi_exit"``
-        (the NT body can escape to a farther join — the multiple-
-        reconvergence-point pattern DMP's compiler handles, Fig. 8 B1).
+        (Type-1 with an inner predictable hammock), ``"nested_else"``
+        (Type-2 whose NT arm contains an inner hammock — an asymmetric
+        nested region), or ``"multi_exit"`` (the NT body can escape to a
+        farther join — the multiple-reconvergence-point pattern DMP's
+        compiler handles, Fig. 8 B1).
     taken_len / nt_len:
         Instructions on each side (the T and N of Equation 1).
     p:
@@ -42,6 +44,16 @@ class HammockSpec:
     store_in_body:
         Put a store inside the body (exercises false-path store
         invalidation, and disqualifies the hammock for DHP).
+    shared_store:
+        With ``store_in_body``, both arms store through *one* shared address
+        stream, so which arm executes decides the final memory image at the
+        shared locations — the pattern differential validation leans on to
+        expose false-path stores leaking to memory.
+    carry_in_body:
+        Each arm ends by folding its live-out into R1, the loop-carried
+        serial chain — a loop-carried dependence *through* the predicated
+        arm, so register transparency must hand the old R1 through whenever
+        the arm is predicated false.
     body_op:
         ``"alu"`` or ``"mul"``: ``"mul"`` makes stalling the body costlier,
         favouring DMP's eager execution (Fig. 8 B2).
@@ -64,6 +76,8 @@ class HammockSpec:
     follower_slow_kb: int = 256
     body_feeds_load: bool = False
     store_in_body: bool = False
+    shared_store: bool = False
+    carry_in_body: bool = False
     #: feed the branch compare from a long-latency load: the branch resolves
     #: slowly, so stalling its body (predication) hurts while speculation
     #: sails through — the classic predication-hostile pattern (Fig. 2c,
@@ -85,7 +99,9 @@ class HammockSpec:
     live_outs: int = 1
 
     def __post_init__(self):
-        if self.shape not in ("if", "if_else", "type3", "nested", "multi_exit"):
+        if self.shape not in (
+            "if", "if_else", "type3", "nested", "nested_else", "multi_exit"
+        ):
             raise ValueError(f"unknown hammock shape {self.shape!r}")
         if self.kind not in ("bernoulli", "periodic", "phased", "markov"):
             raise ValueError(f"unknown branch kind {self.kind!r}")

@@ -1,6 +1,13 @@
 """Property-based end-to-end invariants: random workload specs through the
 generator and the core, under every scheme, must preserve the simulator's
-global invariants (forward progress, consistent accounting)."""
+global invariants (forward progress, consistent accounting).
+
+The second half runs the same machinery with ``CoreConfig.debug_checks``
+armed: the in-pipeline :class:`repro.validate.checker.InvariantChecker`
+audits the ROB/RAT/queues every cycle and raises on the first violation,
+so a green test means *zero* violations across the whole run."""
+
+from dataclasses import replace
 
 from hypothesis import given, settings, strategies as st
 
@@ -9,6 +16,8 @@ from repro.baselines import DhpScheme, DmpScheme
 from repro.core import Core, SKYLAKE_LIKE
 from repro.harness.runner import reduced_acb_config
 from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+
+from tests.conftest import chase_workload, h2p_hammock_workload
 
 hammock_strategy = st.builds(
     HammockSpec,
@@ -87,3 +96,82 @@ class TestRandomWorkloads:
             build_workload(spec), SKYLAKE_LIKE, scheme=AcbScheme(reduced_acb_config())
         ).run(1500)
         assert abs(base.instructions - acb.instructions) <= SKYLAKE_LIKE.retire_width
+
+
+DEBUG_CONFIG = replace(SKYLAKE_LIKE, debug_checks=True)
+
+
+def run_checked(workload, scheme=None, budget=4000):
+    """Run with the per-cycle invariant checker armed; any violation raises
+    InvariantViolation, so returning at all means the run was clean."""
+    core = Core(workload, DEBUG_CONFIG, scheme=scheme)
+    stats = core.run(budget)
+    core.checker.final_check()
+    assert core.checker.checks > 0
+    return core, stats
+
+
+class TestDebugChecksClean:
+    """Micro and corner kernels under ``debug_checks=True``: the checker
+    audits every cycle and must find nothing, in exactly the scenarios the
+    engine's recovery logic is most delicate — mispredict flushes, forced
+    predication, divergence rewind, memory-heavy streams."""
+
+    def test_baseline_h2p_flush_storm(self):
+        """Bernoulli branch ⇒ constant mispredict flushes: every flush must
+        leave the RAT/ROB/queues consistent."""
+        core, stats = run_checked(h2p_hammock_workload())
+        assert stats.mispredicts > 50
+
+    def test_acb_predicated_regions(self):
+        core, stats = run_checked(
+            h2p_hammock_workload(), scheme=AcbScheme(reduced_acb_config())
+        )
+        assert stats.instructions >= 4000
+        assert core.checker.regions_opened == stats.predicated_instances
+
+    def test_acb_with_selects_and_memory(self):
+        cfg = replace(reduced_acb_config(), select_uops=True)
+        core, stats = run_checked(chase_workload(), scheme=AcbScheme(cfg))
+        assert stats.instructions >= 4000
+
+    def test_dmp_eager_regions(self):
+        core, stats = run_checked(h2p_hammock_workload(), scheme=DmpScheme())
+        assert stats.instructions >= 4000
+
+    def test_store_heavy_predicated_arms(self):
+        """Stores inside both predicated arms: false-path invalidation and
+        store-queue ordering under region churn."""
+        spec = WorkloadSpec(
+            name="dbg_stores", category="test", seed=17,
+            hammocks=(
+                HammockSpec(shape="if_else", taken_len=3, nt_len=4, p=0.5,
+                            store_in_body=True, shared_store=True,
+                            carry_in_body=True),
+            ),
+            memory="strided",
+        )
+        run_checked(build_workload(spec), scheme=AcbScheme(reduced_acb_config()))
+
+    def test_irregular_nested_regions(self):
+        """nested_else + multi_exit hammocks: inner branches mispredict and
+        tear open regions; recovery must stay consistent."""
+        spec = WorkloadSpec(
+            name="dbg_nested", category="test", seed=29,
+            hammocks=(
+                HammockSpec(shape="nested_else", taken_len=2, nt_len=6, p=0.4),
+                HammockSpec(shape="multi_exit", nt_len=5, p=0.35,
+                            escape_p=0.3),
+            ),
+            memory="random",
+        )
+        run_checked(build_workload(spec), scheme=AcbScheme(reduced_acb_config()))
+
+    def test_checker_accounting_is_exposed(self):
+        core, stats = run_checked(h2p_hammock_workload(), budget=1500)
+        summary = core.checker.summary()
+        # ≥1 audit per simulated step (fast-forwarded idle cycles are not
+        # stepped) plus one per retirement
+        assert summary["checks"] > stats.instructions
+        assert summary["regions_opened"] == 0    # baseline never predicates
+        assert summary["retired_pred_false"] == 0

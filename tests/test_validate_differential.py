@@ -1,0 +1,249 @@
+"""Differential cross-check tests: golden vs. timing engine, and proof the
+validator actually catches bugs.
+
+Two halves:
+
+* a fixed-seed fuzz corpus (20 seeds through the full random-program
+  generator) must cross-check clean for baseline and ACB, and the seed →
+  spec expansion must be deterministic and JSON round-trippable;
+* deliberately-broken engine variants (predication resolving the *wrong*
+  side; flush recovery skipping the RAT checkpoint restore) must be caught —
+  the first by the trace diff, the second by the invariant checker.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional
+
+import pytest
+
+from repro.core import Core, SKYLAKE_LIKE
+from repro.core.predication import PredicationPlan, PredicationScheme
+from repro.validate import GoldenExecutor, diff_traces
+from repro.validate.differential import check_workload, run_config_trace
+from repro.validate.fuzz import (
+    _spec_size,
+    random_spec,
+    replay_file,
+    run_fuzz,
+    shrink_failure,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+
+from tests.conftest import h2p_hammock_workload
+
+N_SEEDS = 20
+FUZZ_INSTRUCTIONS = 700
+
+
+class PredicateAt(PredicationScheme):
+    """Predicate every instance of one PC with a fixed plan (test scheme)."""
+
+    def __init__(self, branch_pc, reconv_pc):
+        self.kw = dict(branch_pc=branch_pc, reconv_pc=reconv_pc,
+                       conv_type=1, first_taken=False,
+                       max_cycles=400, max_fetch=96)
+
+    def consider(self, dyn, prediction) -> Optional[PredicationPlan]:
+        if dyn.pc != self.kw["branch_pc"]:
+            return None
+        return PredicationPlan(**self.kw)
+
+
+def engine_trace(workload, scheme=None, n=1500):
+    """Run with the checker armed and the architectural trace captured."""
+    core = Core(workload, replace(SKYLAKE_LIKE, debug_checks=True), scheme=scheme)
+    trace = core.enable_arch_trace()
+    core.run(n)
+    core.checker.final_check()
+    return core, trace
+
+
+class TestFixedSeedCorpus:
+    def test_twenty_seeds_cross_check_clean(self, tmp_path):
+        """The canonical corpus: golden == baseline == ACB on 20 random
+        programs spanning every generator shape and knob."""
+        report = run_fuzz(
+            seeds=N_SEEDS,
+            instructions=FUZZ_INSTRUCTIONS,
+            repro_dir=str(tmp_path / "failures"),
+        )
+        details = "\n".join(f.failure.describe() for f in report.failures)
+        assert report.completed == N_SEEDS
+        assert report.ok, f"fuzz corpus regressed:\n{details}"
+        assert not (tmp_path / "failures").exists()
+
+    def test_corpus_covers_irregular_shapes(self):
+        """The 20-seed corpus must actually exercise the irregular-CFG
+        vocabulary the fuzzer exists to stress."""
+        shapes = set()
+        knobs = set()
+        for seed in range(N_SEEDS):
+            for h in random_spec(seed).hammocks:
+                shapes.add(h.shape)
+                knobs.update(
+                    k for k in ("store_in_body", "shared_store", "carry_in_body")
+                    if getattr(h, k)
+                )
+        assert {"if_else", "nested_else"} <= shapes or len(shapes) >= 4
+        assert knobs == {"store_in_body", "shared_store", "carry_in_body"}
+
+    def test_seed_expansion_deterministic(self):
+        for seed in (0, 7, 19):
+            assert random_spec(seed) == random_spec(seed)
+        assert random_spec(3) != random_spec(4)
+
+    def test_spec_json_round_trip(self):
+        for seed in range(8):
+            spec = random_spec(seed)
+            wire = json.dumps(spec_to_dict(spec))
+            assert spec_from_dict(json.loads(wire)) == spec
+
+
+class TestDirectedShapes:
+    @pytest.mark.parametrize("shape", ["nested_else", "multi_exit", "type3"])
+    def test_store_heavy_irregular_shape(self, shape):
+        spec = WorkloadSpec(
+            name=f"dv_{shape}", category="test", seed=23,
+            hammocks=(HammockSpec(shape=shape, taken_len=3, nt_len=5, p=0.5,
+                                  store_in_body=True, shared_store=True,
+                                  carry_in_body=True),),
+            memory="strided",
+        )
+        assert check_workload(build_workload(spec), instructions=800) is None
+
+    def test_predicated_h2p_hammock_matches_golden(self):
+        """Forced predication on every instance still retires the golden
+        stream (transparency + false-path invalidation are invisible)."""
+        workload = h2p_hammock_workload()
+        pc = workload.program.cond_branch_pcs()[0]
+        core, trace = engine_trace(
+            workload, scheme=PredicateAt(pc, workload.program[pc].target)
+        )
+        assert core.stats.predicated_instances > 50
+        golden = GoldenExecutor(workload).run(len(trace))
+        assert diff_traces(golden[: len(trace)], trace, "golden", "engine") is None
+
+
+REPRO_DIR = Path(__file__).parent / "repros"
+
+
+class TestCommittedRepros:
+    """Replay every committed fuzz spec: corpus fixtures must stay clean,
+    and any future shrunk failure reproducer committed after a bug fix must
+    stay fixed."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(REPRO_DIR.glob("*.json")), ids=lambda p: p.stem
+    )
+    def test_replay_is_clean(self, path):
+        failure = replay_file(str(path))
+        assert failure is None, failure.describe()
+
+    def test_fixtures_match_their_seeds(self):
+        """The committed specs pin the exact programs: they must equal what
+        their recorded seed expands to today."""
+        for path in sorted(REPRO_DIR.glob("fuzz_seed*.json")):
+            payload = json.loads(path.read_text())
+            assert spec_from_dict(payload["spec"]) == random_spec(payload["seed"])
+
+
+class TestBrokenEngineIsCaught:
+    """Inject real bugs and require the subsystem to flag them."""
+
+    def _flip_resolve(self, monkeypatch):
+        orig = Core._resolve_region
+
+        def flipped(self, region):
+            region.branch.taken = not region.branch.taken
+            try:
+                orig(self, region)
+            finally:
+                region.branch.taken = not region.branch.taken
+
+        monkeypatch.setattr(Core, "_resolve_region", flipped)
+
+    def test_wrong_side_predication_caught_by_trace(self, monkeypatch):
+        """Resolving regions with the branch direction flipped marks the
+        *executed* side predicated-false: the retirement stream drops real
+        instructions and keeps phantom ones.  The trace diff must see it."""
+        workload = h2p_hammock_workload()
+        pc = workload.program.cond_branch_pcs()[0]
+        scheme = PredicateAt(pc, workload.program[pc].target)
+
+        self._flip_resolve(monkeypatch)
+        core, trace = engine_trace(workload, scheme=scheme)
+        assert core.stats.predicated_instances > 0
+        golden = GoldenExecutor(workload).run(len(trace))
+        mismatch = diff_traces(golden[: len(trace)], trace, "golden", "engine")
+        assert mismatch is not None
+
+    def test_wrong_side_predication_caught_end_to_end(self, monkeypatch):
+        """Same bug through the public check_workload driver with the real
+        ACB scheme: the returned failure pinpoints config and divergence."""
+        self._flip_resolve(monkeypatch)
+        run = run_config_trace(h2p_hammock_workload(), "acb", instructions=2500)
+        assert run.failure is None  # the checker alone cannot see this bug
+        assert run.predicated_instances > 0
+        failure = check_workload(
+            h2p_hammock_workload(), instructions=2500, configs=("acb",)
+        )
+        assert failure is not None
+        assert failure.kind == "mismatch" and failure.config == "acb"
+        assert "diverge at index" in failure.detail
+
+    def test_skipped_rat_restore_caught_by_checker(self, monkeypatch):
+        """Dropping the RAT checkpoint restore on flush leaves squashed
+        wrong-path producers in the rename table: an invariant violation,
+        caught at the flush itself — no trace comparison needed."""
+        orig = Core._flush
+
+        def no_restore(self, branch, push_history):
+            branch.rat_checkpoint = None
+            orig(self, branch, push_history)
+
+        monkeypatch.setattr(Core, "_flush", no_restore)
+        failure = check_workload(
+            h2p_hammock_workload(), instructions=1500, configs=("baseline",)
+        )
+        assert failure is not None
+        assert failure.kind == "invariant" and failure.config == "baseline"
+        assert "RAT" in failure.detail or "rat" in failure.detail
+
+    def test_shrinker_reduces_failing_spec(self, monkeypatch):
+        """With the flush bug injected, any mispredicting spec fails; the
+        shrinker must hand back a strictly smaller spec that still fails."""
+        orig = Core._flush
+
+        def no_restore(self, branch, push_history):
+            branch.rat_checkpoint = None
+            orig(self, branch, push_history)
+
+        monkeypatch.setattr(Core, "_flush", no_restore)
+        spec = WorkloadSpec(
+            name="shrink_me", category="test", seed=31,
+            hammocks=(
+                HammockSpec(shape="if_else", taken_len=4, nt_len=4, p=0.5,
+                            store_in_body=True, shared_store=True,
+                            followers=1, carry_in_body=True),
+                HammockSpec(shape="nested", nt_len=6, p=0.3, slow_source=True),
+            ),
+            ilp=4, chain=2, memory="strided", inner_loop=(3, 1),
+        )
+        failure = check_workload(
+            build_workload(spec), instructions=400, configs=("baseline",)
+        )
+        assert failure is not None
+        shrunk, shrunk_failure = shrink_failure(
+            spec, failure, configs=("baseline",), instructions=400,
+            max_checks=25,
+        )
+        assert shrunk_failure is not None
+        assert _spec_size(shrunk) < _spec_size(spec)
+        # the shrunk spec must be a genuine reproducer on its own
+        assert check_workload(
+            build_workload(shrunk), instructions=400, configs=("baseline",)
+        ) is not None

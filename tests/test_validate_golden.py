@@ -1,0 +1,186 @@
+"""Unit tests of the golden in-order model on hand-built programs.
+
+Each program is small enough that its retirement trace and final
+architectural image (register → last-writer-pc, address → last-store-pc)
+can be computed by hand from the branch behaviours.
+"""
+
+from repro.isa import FLAGS
+from repro.program import ProgramBuilder
+from repro.validate import (
+    ArchState,
+    GoldenExecutor,
+    RetireEvent,
+    diff_traces,
+    golden_state,
+    golden_trace,
+)
+from repro.workloads import Periodic, Strided, Workload
+
+
+def hammock_workload(pattern=(True, False), seed=5):
+    """pc0 alu r1 / pc1 cmp / pc2 br->skip / pc3 alu r2 / pc4 alu r3 / pc5 jmp."""
+    b = ProgramBuilder("golden-hammock")
+    b.label("top")
+    b.alu(dst=1, srcs=(1,))                    # pc 0
+    b.compare(srcs=(1,))                       # pc 1 (writes FLAGS)
+    b.cond_branch("skip", behavior="br")       # pc 2
+    b.alu(dst=2, srcs=(1,))                    # pc 3 (skipped when taken)
+    b.label("skip")
+    b.alu(dst=3, srcs=(1,))                    # pc 4
+    b.jump("top")                              # pc 5
+    return Workload(
+        "golden-hammock", "test", b.build(),
+        {"br": Periodic("br", pattern)}, seed=seed,
+    )
+
+
+def store_workload(seed=9):
+    """Both arms store, to distinct stride-0 streams: the branch pattern
+    decides which pc owns each address in the final memory image."""
+    b = ProgramBuilder("golden-store")
+    b.label("top")
+    b.alu(dst=1, srcs=(1,))                    # pc 0
+    b.compare(srcs=(1,))                       # pc 1
+    b.cond_branch("tblk", behavior="br")       # pc 2
+    b.store(srcs=(1,), behavior="nt_st")       # pc 3: NT arm store
+    b.jump("join")                             # pc 4
+    b.label("tblk")
+    b.store(srcs=(1,), behavior="t_st")        # pc 5: taken arm store
+    b.label("join")
+    b.alu(dst=4, srcs=(1,))                    # pc 6
+    b.jump("top")                              # pc 7
+    return Workload(
+        "golden-store", "test", b.build(),
+        {
+            "br": Periodic("br", (True, False)),
+            "nt_st": Strided("nt_st", base=0x1000, stride=0, span=64),
+            "t_st": Strided("t_st", base=0x2000, stride=0, span=64),
+        },
+        seed=seed,
+    )
+
+
+class TestGoldenHammock:
+    def test_trace_follows_branch_pattern(self):
+        """Periodic (True, False): iterations alternate skipping pc 3."""
+        w = hammock_workload(pattern=(True, False))
+        trace = golden_trace(w, 11)
+        taken_iter = [0, 1, 2, 4, 5]       # body skipped
+        nt_iter = [0, 1, 2, 3, 4, 5]       # body executed
+        assert [e.pc for e in trace] == taken_iter + nt_iter
+        branches = [e for e in trace if e.pc == 2]
+        assert [e.taken for e in branches] == [True, False]
+
+    def test_always_taken_never_retires_body(self):
+        w = hammock_workload(pattern=(True,))
+        trace = golden_trace(w, 40)
+        assert all(e.pc != 3 for e in trace)
+        state = golden_state(w, 40)
+        assert 2 not in state.regs          # r2 never architecturally written
+
+    def test_final_register_image(self):
+        """After any whole number of iterations, each register maps to the
+        pc of its unique writer."""
+        w = hammock_workload(pattern=(True, False))
+        state = golden_state(w, 22)         # 2 full (5+6)-instruction cycles
+        assert state.regs == {1: 0, FLAGS: 1, 2: 3, 3: 4}
+        assert state.mem == {}
+        assert state.retired == 22
+
+    def test_deterministic_replay(self):
+        w = hammock_workload()
+        assert golden_trace(w, 60) == golden_trace(hammock_workload(), 60)
+
+
+class TestGoldenStores:
+    def test_store_events_carry_addresses(self):
+        w = store_workload()
+        trace = golden_trace(w, 14)         # one taken + one NT iteration
+        stores = [e for e in trace if e.store]
+        assert [(e.pc, e.addr) for e in stores] == [(5, 0x2000), (3, 0x1000)]
+        assert all(e.dst is None for e in stores)
+
+    def test_final_memory_image(self):
+        """Stride-0 streams: each arm's store keeps overwriting one line."""
+        w = store_workload()
+        state = golden_state(w, 14 * 3)
+        assert state.mem == {0x2000: 5, 0x1000: 3}
+
+
+class TestArchState:
+    def test_apply_tracks_last_writer(self):
+        state = ArchState().apply_all([
+            RetireEvent(pc=0, dst=1),
+            RetireEvent(pc=1, dst=1),
+            RetireEvent(pc=2, dst=2),
+            RetireEvent(pc=3, addr=0x40, store=True),
+            RetireEvent(pc=4, addr=0x40, store=True),
+            RetireEvent(pc=5, addr=0x80, store=False),   # load: no image change
+        ])
+        assert state.regs == {1: 1, 2: 2}
+        assert state.mem == {0x40: 4}
+        assert state.retired == 6
+
+    def test_equal_traces_equal_images(self):
+        w = store_workload()
+        trace = golden_trace(w, 50)
+        assert ArchState().apply_all(trace) == ArchState().apply_all(list(trace))
+
+
+class TestDiffTraces:
+    def test_agreement(self):
+        w = hammock_workload()
+        assert diff_traces(golden_trace(w, 30),
+                           golden_trace(hammock_workload(), 30)) is None
+
+    def test_first_divergence_reported(self):
+        left = [RetireEvent(pc=i) for i in range(10)]
+        right = list(left)
+        right[6] = RetireEvent(pc=6, dst=3)
+        mismatch = diff_traces(left, right, "golden", "acb")
+        assert mismatch is not None and mismatch.index == 6
+        assert mismatch.left == left[6] and mismatch.right == right[6]
+        assert "golden" in mismatch.describe() and "acb" in mismatch.describe()
+        assert ">> [6]" in mismatch.context
+
+    def test_length_difference_is_divergence(self):
+        left = [RetireEvent(pc=i) for i in range(5)]
+        mismatch = diff_traces(left, left[:3])
+        assert mismatch is not None and mismatch.index == 3
+        assert mismatch.right is None
+        assert "<end of trace>" in mismatch.describe()
+
+    def test_prefix_truncation_agrees(self):
+        left = [RetireEvent(pc=i) for i in range(5)]
+        assert diff_traces(left[:3], left[:3]) is None
+
+
+class TestGoldenEngineContract:
+    def test_seed_offset_changes_outcomes(self):
+        """Different seed offsets re-seed the behaviours (warmup replay)."""
+        from repro.workloads import Bernoulli
+
+        b = ProgramBuilder("seeded")
+        b.label("top")
+        b.alu(dst=1, srcs=(1,))
+        b.compare(srcs=(1,))
+        b.cond_branch("top", behavior="br")
+        b.jump("top")
+        w = Workload("seeded", "test", b.build(),
+                     {"br": Bernoulli("br", 0.5)}, seed=3)
+        base = [e.taken for e in golden_trace(w, 200) if e.taken is not None]
+        off = [
+            e.taken
+            for e in GoldenExecutor(w, seed_offset=1).run(200)
+            if e.taken is not None
+        ]
+        assert base != off
+
+    def test_incremental_run_extends_trace(self):
+        gold = GoldenExecutor(hammock_workload())
+        gold.run(10)
+        first = list(gold.trace)
+        gold.run(10)
+        assert gold.trace[:10] == first
+        assert gold.retired == 20
