@@ -16,6 +16,11 @@ Commands
     Differential fuzzing: cross-check golden vs. baseline vs. ACB
     retirement traces on seeded random programs, shrinking any failure to
     a minimal reproducer on disk (see docs/validation.md).
+``trace WORKLOAD [--config acb] [--out DIR] [--formats ...]``
+    Re-simulate one workload with the cycle-level trace collector enabled
+    and export pipeline/decision artifacts: a Konata log, a Chrome
+    trace-event JSON (Perfetto), the ACB decision log, and a per-branch
+    timeline (see docs/observability.md).
 
 Global options
 --------------
@@ -157,6 +162,90 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+_TRACE_FORMATS = ("konata", "chrome", "log", "timeline")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import time
+    from dataclasses import replace as dc_replace
+
+    from repro.core.config import SKYLAKE_LIKE, scaled
+    from repro.core.engine import Core
+    from repro.harness.parallel import record_artifacts
+    from repro.trace import (
+        TraceConfig,
+        export_chrome,
+        export_konata,
+        format_acb_log,
+        format_branch_timeline,
+    )
+    from repro.workloads import load_suite
+
+    formats = list(dict.fromkeys(args.formats)) if args.formats else list(_TRACE_FORMATS)
+    for fmt in formats:
+        if fmt not in _TRACE_FORMATS:
+            print(f"unknown format {fmt!r}; choose from {_TRACE_FORMATS}",
+                  file=sys.stderr)
+            return 2
+
+    (workload,) = load_suite([args.workload])
+    trace_cfg = TraceConfig(
+        uop_capacity=args.uop_capacity, acb_capacity=args.acb_capacity
+    )
+    core_cfg = dc_replace(scaled(args.scale, SKYLAKE_LIKE), trace=trace_cfg)
+    scheme = SCHEME_FACTORIES[args.config]()
+    predictor = "oracle" if args.config == "oracle-bp" else None
+    started = time.perf_counter()
+    core = Core(workload, core_cfg, scheme=scheme, predictor=predictor)
+    stats = core.run_window(args.warmup, args.measure)
+    core.trace.finish(core.cycle)
+    elapsed = time.perf_counter() - started
+
+    out_dir = args.out or os.path.join(
+        ".repro_traces", f"{args.workload}-{args.config}"
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    if "konata" in formats:
+        path = os.path.join(out_dir, "trace.konata")
+        count = export_konata(core.trace, path)
+        written.append(path)
+        print(f"  {path}: {count} uops (open with the Konata pipeline viewer)")
+    if "chrome" in formats:
+        path = os.path.join(out_dir, "trace.json")
+        count = export_chrome(core.trace, path)
+        written.append(path)
+        print(f"  {path}: {count} events (load at https://ui.perfetto.dev)")
+    if "log" in formats:
+        path = os.path.join(out_dir, "acb_log.txt")
+        with open(path, "w") as handle:
+            handle.write(format_acb_log(core.trace))
+        written.append(path)
+        print(f"  {path}: {core.trace.acb_seen} ACB decision events")
+    if "timeline" in formats:
+        path = os.path.join(out_dir, "timeline.txt")
+        with open(path, "w") as handle:
+            handle.write(format_branch_timeline(core.trace, pc=args.pc))
+        written.append(path)
+        print(f"  {path}: per-branch timeline")
+    record_artifacts(written, workload=args.workload, config=args.config,
+                     wall_time=elapsed)
+    print(
+        f"{args.workload} [{args.config}]: {stats.instructions} instructions, "
+        f"{stats.cycles} cycles (IPC {stats.ipc:.3f}) — "
+        f"{core.trace.summary()}"
+    )
+    if core.trace.truncated_uops or core.trace.truncated_acb:
+        print(
+            f"  warning: ring buffers wrapped "
+            f"({core.trace.truncated_uops} uops, "
+            f"{core.trace.truncated_acb} ACB events dropped); "
+            f"raise --uop-capacity/--acb-capacity or shrink the window",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _report_manifests() -> None:
     manifests = session_manifests()
     if manifests:
@@ -222,6 +311,29 @@ def main(argv=None) -> int:
     p_val.add_argument("--replay", default=None, metavar="FILE",
                        help="re-run a written reproducer instead of fuzzing")
     p_val.set_defaults(func=_cmd_validate)
+
+    p_trc = sub.add_parser(
+        "trace", help="export cycle-level pipeline and ACB decision traces"
+    )
+    p_trc.add_argument("workload", choices=suite_names(), metavar="WORKLOAD")
+    p_trc.add_argument("--config", default="acb", choices=sorted(SCHEME_FACTORIES))
+    p_trc.add_argument("--scale", type=int, default=1)
+    p_trc.add_argument("--warmup", type=int, default=3000,
+                       help="warm-up instructions before the traced window")
+    p_trc.add_argument("--measure", type=int, default=2000,
+                       help="instructions in the traced measurement window")
+    p_trc.add_argument("--out", default=None, metavar="DIR",
+                       help="output directory "
+                            "(default: .repro_traces/WORKLOAD-CONFIG)")
+    p_trc.add_argument("--formats", nargs="*", metavar="FMT",
+                       help=f"subset of {_TRACE_FORMATS} (default: all)")
+    p_trc.add_argument("--pc", type=int, default=None,
+                       help="restrict the timeline to one branch PC")
+    p_trc.add_argument("--uop-capacity", type=int, default=1 << 16,
+                       help="uop ring-buffer capacity (oldest dropped)")
+    p_trc.add_argument("--acb-capacity", type=int, default=1 << 14,
+                       help="ACB event ring-buffer capacity")
+    p_trc.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     if args.jobs is not None:

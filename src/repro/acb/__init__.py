@@ -1,4 +1,28 @@
-"""Auto-Predication of Critical Branches — the paper's contribution."""
+"""Auto-Predication of Critical Branches — the paper's contribution.
+
+Public API map (paper section → class):
+
+* Section III-A, criticality filtering — :class:`CriticalTable`
+* Section III-B, convergence learning — :class:`LearningTable`
+  (:class:`ConvergenceResult`, the Figure 3 types, the Figure 4
+  backward-branch transform via :func:`effective_taken`)
+* Section III-B, learned metadata + Equation 1 confidence —
+  :class:`AcbTable` / :class:`AcbEntry`
+* Section III-B, convergence confidence — :class:`TrackingTable`
+* Section III-C, run-time monitoring — :class:`Dynamo` (FSM states
+  ``BAD``..``GOOD``) and the rejected Section V-B alternative
+  :class:`StallThrottle`
+* Table I storage accounting — :func:`storage_report`,
+  :data:`PAPER_TOTAL_BYTES`
+* the assembled scheme the core drives — :class:`AcbScheme`, with
+  knobs in :class:`AcbConfig` (:data:`PAPER_DEFAULT` for the paper's
+  windows, :data:`REDUCED_DEFAULT` scaled to this repo's reduced
+  traces).
+
+With tracing enabled (``CoreConfig.trace``; see docs/observability.md)
+the scheme and Dynamo emit decision events — learning transitions,
+region lifecycles, epoch verdicts — through the core's trace collector.
+"""
 
 from repro.acb.config import AcbConfig, PAPER_DEFAULT, REDUCED_DEFAULT
 from repro.acb.critical_table import CriticalTable

@@ -48,6 +48,9 @@ class Dynamo:
         self.retired_total = 0
         self.pairs_evaluated = 0
         self.transitions = 0
+        #: optional :class:`repro.trace.collector.TraceCollector`, wired by
+        #: :meth:`repro.acb.scheme.AcbScheme.attach` when the core traces.
+        self.trace = None
 
     # ------------------------------------------------------------------
     @property
@@ -80,22 +83,34 @@ class Dynamo:
             self.config.dynamo_reset_interval
             and self.retired_total % self.config.dynamo_reset_interval == 0
         ):
-            self.reset_states()
+            self.reset_states(cycle)
 
     def _epoch_boundary(self, cycle: int) -> None:
         epoch_cycles = min(cycle - self.epoch_start_cycle, _CYCLE_COUNTER_MAX)
+        if self.trace is not None:
+            self.trace.acb(
+                cycle, "dynamo_epoch", epoch=self.epoch_index,
+                measuring_off=self.measuring_off, cycles=epoch_cycles,
+                instructions=self.instr_in_epoch,
+            )
         if self.measuring_off:
             self.cycles_off = epoch_cycles
         else:
             if self.cycles_off >= 0:
-                self._evaluate_pair(self.cycles_off, epoch_cycles)
+                self._evaluate_pair(self.cycles_off, epoch_cycles, cycle)
             self.cycles_off = -1
         self.epoch_index += 1
         self.instr_in_epoch = 0
         self.epoch_start_cycle = cycle
 
-    def _evaluate_pair(self, cycles_off: int, cycles_on: int) -> None:
-        """Compare the ACB-on epoch against its ACB-off sibling."""
+    def _evaluate_pair(self, cycles_off: int, cycles_on: int, cycle: int = -1) -> None:
+        """Compare the ACB-on epoch against its ACB-off sibling.
+
+        This is the enable/disable decision of Figure 5: when traced, the
+        emitted ``dynamo_pair`` event carries both epoch cycle counts (the
+        per-epoch instruction count is the fixed epoch length, so these are
+        the IPC measurements) and every FSM transition they caused.
+        """
         self.pairs_evaluated += 1
         threshold = cycles_off * self.config.cycle_change_factor
         if cycles_on > cycles_off + threshold:
@@ -105,19 +120,31 @@ class Dynamo:
         else:
             direction = 0
         involvement_cap = (1 << self.config.involvement_bits) - 1
+        moved = [] if self.trace is not None else None
         for entry in self.table.entries():
             if direction and entry.involvement >= involvement_cap:
                 if entry.fsm not in (GOOD, BAD):  # final states are absorbing
+                    old = entry.fsm
                     entry.fsm = max(BAD, min(GOOD, entry.fsm + direction))
                     self.transitions += 1
+                    if moved is not None:
+                        moved.append((entry.pc, old, entry.fsm))
             entry.involvement = 0
+        if moved is not None:
+            self.trace.acb(
+                cycle, "dynamo_pair", cycles_off=cycles_off, cycles_on=cycles_on,
+                instructions=self.config.epoch_length, direction=direction,
+                transitions=moved,
+            )
 
     # ------------------------------------------------------------------
-    def reset_states(self) -> None:
+    def reset_states(self, cycle: int = -1) -> None:
         """Periodic re-learning reset (phase changes, Section III-C)."""
         for entry in self.table.entries():
             entry.fsm = NEUTRAL
             entry.involvement = 0
+        if self.trace is not None:
+            self.trace.acb(cycle, "dynamo_reset")
 
     def state_histogram(self) -> List[int]:
         hist = [0] * 5

@@ -26,7 +26,23 @@ from repro.isa.dyninst import DynInst, ROLE_SELECT
 
 
 class AcbScheme(PredicationScheme):
-    """Auto-Predication of Critical Branches."""
+    """Auto-Predication of Critical Branches (the paper's Section III).
+
+    The pipeline of tables mirrors the paper's Figure 2 block diagram:
+
+    * :class:`~repro.acb.critical_table.CriticalTable` — Section III-A's
+      frequency-based criticality filter over mispredicting branch PCs;
+    * :class:`~repro.acb.learning.LearningTable` — Section III-B's
+      single-entry convergence detector (Figure 3 types, Figure 4
+      backward-branch transform);
+    * :class:`~repro.acb.acb_table.AcbTable` — Section III-B's learned
+      metadata store with the Equation 1 criticality-confidence
+      discipline;
+    * :class:`~repro.acb.tracking.TrackingTable` — Section III-B's
+      passive reconvergence verifier (convergence confidence);
+    * :class:`~repro.acb.dynamo.Dynamo` — Section III-C's run-time A/B
+      performance monitor (Figure 5 FSM).
+    """
 
     name = "acb"
 
@@ -64,12 +80,27 @@ class AcbScheme(PredicationScheme):
         self._retired_since_decay = 0
         self._branch_pc_by_seq = {}
         self._far_pending = -1
+        #: optional trace collector, wired at :meth:`attach`.
+        self.trace = None
         # diagnostics
         self.learned = 0
         self.learning_failures = 0
         self.instances = 0
         self.divergences = 0
         self.far_relearned = 0
+
+    def attach(self, core) -> None:
+        """Bind to the core and, when it traces, wire the ACB machinery's
+        decision points (learning/tracking transitions, Dynamo epochs) to
+        the core's :class:`~repro.trace.collector.TraceCollector`."""
+        super().attach(core)
+        self.trace = getattr(core, "trace", None)
+        if self.dynamo is not None:
+            self.dynamo.trace = self.trace
+
+    def _trace_event(self, kind: str, pc: int = -1, **data) -> None:
+        if self.trace is not None:
+            self.trace.acb(self.core.cycle, kind, pc, **data)
 
     # ==================================================================
     # Policy: decide whether to predicate this dynamic instance
@@ -132,6 +163,10 @@ class AcbScheme(PredicationScheme):
                                 dyn.pc, dyn.instr.target, skip_type1=True
                             )
                             self._far_pending = dyn.pc
+                            self._trace_event(
+                                "learning_load", dyn.pc,
+                                target=dyn.instr.target, far=True,
+                            )
                         entry.conf //= 2
                     else:
                         entry.reset_confidence()
@@ -145,6 +180,9 @@ class AcbScheme(PredicationScheme):
         saturated = self.critical.record_mispredict(dyn.pc)
         if saturated and not self.learning.busy and self.table.lookup(dyn.pc) is None:
             self.learning.load(dyn.pc, dyn.instr.target)
+            self._trace_event(
+                "learning_load", dyn.pc, target=dyn.instr.target, far=False
+            )
 
     def _is_critical_event(self, dyn: DynInst) -> bool:
         """ROB-proximity criticality heuristic (Section III-A).
@@ -170,6 +208,11 @@ class AcbScheme(PredicationScheme):
         if result.branch_pc == self._far_pending:
             # multi-reconvergence re-learning: adopt the farther point
             self._far_pending = -1
+            self._trace_event(
+                "learning_converged", result.branch_pc,
+                reconv_pc=result.reconv_pc, conv_type=result.conv_type,
+                body_size=result.body_size, far=True,
+            )
             entry = self.table.lookup(result.branch_pc)
             if entry is not None and result.reconv_pc > entry.reconv_pc:
                 self.far_relearned += 1
@@ -180,6 +223,11 @@ class AcbScheme(PredicationScheme):
                 entry.required_m = self.config.required_mispred_rate(result.body_size)
             return
         self.learned += 1
+        self._trace_event(
+            "learning_converged", result.branch_pc,
+            reconv_pc=result.reconv_pc, conv_type=result.conv_type,
+            body_size=result.body_size, far=False,
+        )
         self.table.allocate(
             pc=result.branch_pc,
             conv_type=result.conv_type,
@@ -191,11 +239,14 @@ class AcbScheme(PredicationScheme):
     def _on_learning_failed(self, branch_pc: int) -> None:
         if branch_pc == self._far_pending:
             self._far_pending = -1  # retry on a later divergence
+            self._trace_event("learning_failed", branch_pc, far=True)
             return
         self.learning_failures += 1
+        self._trace_event("learning_failed", branch_pc, far=False)
         self.critical.penalize(branch_pc)
 
     def _on_tracking_diverged(self, branch_pc: int) -> None:
+        self._trace_event("tracking_diverged", branch_pc)
         entry = self.table.lookup(branch_pc)
         if entry is not None:
             entry.reset_confidence()

@@ -9,9 +9,10 @@ resources" is ``scaled(2)``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.memory.hierarchy import MemoryConfig
+from repro.trace.config import TraceConfig
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,14 @@ class CoreConfig:
     #: (docs/validation.md quantifies the overhead).
     debug_checks: bool = False
 
+    #: attach a trace collector (repro.trace) recording per-uop lifecycle
+    #: events and ACB decision events for the Konata/Chrome exporters and
+    #: the decision log.  ``None`` (the default) keeps the simulation hot
+    #: loop allocation-free; timing results are identical either way
+    #: (tests/test_trace.py enforces both properties).  See
+    #: docs/observability.md.
+    trace: Optional[TraceConfig] = None
+
     def validate(self) -> None:
         positive = {
             "fetch_width": self.fetch_width,
@@ -74,6 +83,8 @@ class CoreConfig:
                 raise ValueError(f"{name} must be positive, got {value}")
         if not self.ports or any(n <= 0 for n in self.ports.values()):
             raise ValueError("every port group needs at least one port")
+        if self.trace is not None:
+            self.trace.validate()
 
     def table(self) -> Dict[str, str]:
         """Human-readable parameter dump (the Table II bench)."""

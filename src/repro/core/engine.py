@@ -81,6 +81,14 @@ class Core:
         self.btb = BranchTargetBuffer(config.btb_sets, config.btb_ways)
         self.mem = MemoryHierarchy(config.memory)
         self.stats = SimStats()
+        # trace collector (repro.trace): None keeps every hook to a single
+        # `is not None` test.  Created before the scheme attaches so the
+        # scheme can wire its own machinery (e.g. Dynamo) to the collector.
+        self.trace = None
+        if config.trace is not None:
+            from repro.trace.collector import TraceCollector
+
+            self.trace = TraceCollector(config.trace)
         self.scheme = scheme
         if scheme is not None:
             scheme.attach(self)
@@ -256,6 +264,7 @@ class Core:
             if self.checker is not None:
                 self.checker.on_retire(dyn)
             dyn.state = ST_RETIRED
+            dyn.retire_cycle = self.cycle
             self._last_retire_cycle = self.cycle
             self.stats.retired_uops += 1
             instr = dyn.instr
@@ -341,8 +350,15 @@ class Core:
 
         if dyn.acb_role == ROLE_BRANCH:
             pcs.predicated += 1
-            if dyn.pred_taken is not None and dyn.pred_taken != dyn.taken:
+            saved_flush = dyn.pred_taken is not None and dyn.pred_taken != dyn.taken
+            if saved_flush:
                 stats.predicated_saved_flushes += 1
+            if self.trace is not None:
+                self.trace.acb(
+                    self.cycle, "region_resolve", dyn.pc,
+                    seq=dyn.seq, taken=dyn.taken, pred_taken=dyn.pred_taken,
+                    diverged=dyn.diverged, saved_flush=saved_flush,
+                )
             # Predicated instances stay out of the global history
             # (Section V-C) but still train the prediction tables at
             # resolution, as retirement-time update hardware would.
@@ -413,6 +429,7 @@ class Core:
 
         for dyn in self.fetchq:
             dyn.state = ST_SQUASHED
+            dyn.squash_cycle = self.cycle
         self.fetchq.clear()
 
         rob = self.rob
@@ -423,6 +440,7 @@ class Core:
             if dyn.instr.is_load and dyn.state != ST_RETIRED:
                 self.lq_count -= 1
             dyn.state = ST_SQUASHED
+            dyn.squash_cycle = self.cycle
         while self.sq and self.sq[-1].seq > seqb:
             self.sq.pop()
 
@@ -446,14 +464,21 @@ class Core:
             if reg_branch.seq > seqb or reg_branch is branch:
                 if self.checker is not None:
                     self.checker.on_region_cancel(self.region)
+                if self.trace is not None:
+                    self.trace.acb(self.cycle, "region_cancel", reg_branch.pc,
+                                   seq=reg_branch.seq)
                 self.region = None
             else:
                 self._mark_diverged(self.region)
                 self.region = None
         for seq in list(self.unresolved_regions):
             if seq > seqb:
+                region = self.unresolved_regions[seq]
                 if self.checker is not None:
-                    self.checker.on_region_cancel(self.unresolved_regions[seq])
+                    self.checker.on_region_cancel(region)
+                if self.trace is not None:
+                    self.trace.acb(self.cycle, "region_cancel",
+                                   region.branch.pc, seq=seq)
                 del self.unresolved_regions[seq]
 
         # functional rewind for divergent predicated instances
@@ -480,6 +505,9 @@ class Core:
                 heapq.heappush(self._ready, (branch.seq, branch))
         if self.checker is not None:
             self.checker.on_region_close(region, diverged=True)
+        if self.trace is not None:
+            self.trace.acb(self.cycle, "region_close", branch.pc,
+                           seq=branch.seq, fetched=region.fetched, diverged=True)
         if self.scheme is not None and not region.closed:
             region.closed = True
             self.scheme.on_region_closed(region, diverged=True)
@@ -659,6 +687,8 @@ class Core:
         dyn = DynInst(self._seq, instr, wrong_path=not self.on_correct_path)
         self._seq += 1
         dyn.fetch_cycle = self.cycle
+        if self.trace is not None:
+            self.trace.on_fetch(dyn)
         return dyn
 
     def _synth_addr(self, dyn: DynInst) -> int:
@@ -736,6 +766,10 @@ class Core:
         self.region = None
         if self.checker is not None:
             self.checker.on_region_close(region, diverged=diverged)
+        if self.trace is not None:
+            self.trace.acb(self.cycle, "region_close", branch.pc,
+                           seq=branch.seq, fetched=region.fetched,
+                           diverged=diverged)
         if not diverged:
             if region.plan.select_uops:
                 self._inject_selects(region)
@@ -922,6 +956,12 @@ class Core:
         self.stats.predicated_instances += 1
         if self.checker is not None:
             self.checker.on_region_open(region)
+        if self.trace is not None:
+            self.trace.acb(
+                self.cycle, "region_open", dyn.pc,
+                seq=dyn.seq, reconv_pc=plan.reconv_pc, conv_type=plan.conv_type,
+                first_taken=plan.first_taken, true_taken=actual,
+            )
         if self.scheme.updates_history_on_predication:
             self.bp.push_outcome(dyn.pc, actual)
         self.fetch_pc = instr.target if plan.first_taken else instr.fallthrough

@@ -127,6 +127,8 @@ class MatrixManifest:
     jobs: int = 1
     wall_time: float = 0.0
     cells: List[CellRecord] = field(default_factory=list)
+    #: files written alongside the runs (trace exports, decision logs).
+    artifacts: List[str] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -159,6 +161,24 @@ def session_manifests() -> List[MatrixManifest]:
 
 def reset_manifests() -> None:
     _MANIFESTS.clear()
+
+
+def record_artifacts(paths, workload: str = "", config: str = "",
+                     wall_time: float = 0.0) -> MatrixManifest:
+    """Register files written by a tracing/diagnostic run.
+
+    Creates a one-cell manifest so artifact paths show up in the
+    end-of-session summary next to the simulation accounting.
+    """
+    manifest = MatrixManifest(jobs=1, wall_time=wall_time)
+    if workload:
+        manifest.cells.append(
+            CellRecord(workload=workload, config=config, source="run",
+                       wall_time=wall_time)
+        )
+    manifest.artifacts.extend(str(p) for p in paths)
+    _MANIFESTS.append(manifest)
+    return manifest
 
 
 # ----------------------------------------------------------------------

@@ -67,10 +67,14 @@ def summarize_manifests(manifests: Sequence) -> str:
     simulated = sum(m.simulated for m in manifests)
     hits = sum(m.cache_hits for m in manifests)
     wall = sum(m.wall_time for m in manifests)
-    return (
+    line = (
         f"matrix summary: {total} cells — {simulated} simulated, "
         f"{hits} cache hits ({hits / total:.0%}), wall {wall:.2f}s"
     )
+    artifacts = [p for m in manifests for p in getattr(m, "artifacts", ())]
+    if artifacts:
+        line += "\nartifacts: " + ", ".join(artifacts)
+    return line
 
 
 def per_category(

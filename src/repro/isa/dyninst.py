@@ -72,6 +72,8 @@ class DynInst:
         "alloc_cycle",
         "issue_cycle",
         "done_cycle",
+        "retire_cycle",
+        "squash_cycle",
         "lsq_index",
     )
 
@@ -111,6 +113,8 @@ class DynInst:
         self.alloc_cycle = -1
         self.issue_cycle = -1
         self.done_cycle = -1
+        self.retire_cycle = -1
+        self.squash_cycle = -1
         self.lsq_index = -1
 
     # ------------------------------------------------------------------

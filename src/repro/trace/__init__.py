@@ -1,0 +1,45 @@
+"""repro.trace — cycle-level pipeline/ACB observability.
+
+A structured, low-overhead tracing subsystem for the core engine and the
+ACB machinery.  Enable it by giving the core a
+:class:`~repro.trace.config.TraceConfig`::
+
+    from dataclasses import replace
+    from repro import Core, SKYLAKE_LIKE
+    from repro.trace import TraceConfig
+
+    cfg = replace(SKYLAKE_LIKE, trace=TraceConfig())
+    core = Core(workload, cfg, scheme=scheme)
+    core.run_window(warmup=3_000, measure=2_000)
+    core.trace.finish(core.cycle)
+
+then turn the collected trace into artifacts::
+
+    from repro.trace import export_konata, export_chrome, format_acb_log
+    export_konata(core.trace, "trace.konata")     # Konata pipeline viewer
+    export_chrome(core.trace, "trace.json")       # Perfetto / chrome://tracing
+    print(format_acb_log(core.trace))             # ACB decision log
+
+or from the command line: ``python -m repro trace WORKLOAD --config acb``.
+
+With ``CoreConfig.trace`` left at ``None`` (the default) the engine hot
+loop is allocation-free and timing/throughput are unchanged — see
+``docs/observability.md`` for the event schema and worked examples.
+"""
+
+from repro.trace.chrome import export_chrome
+from repro.trace.collector import TraceCollector
+from repro.trace.config import TraceConfig
+from repro.trace.events import AcbTraceEvent
+from repro.trace.konata import export_konata
+from repro.trace.timeline import format_acb_log, format_branch_timeline
+
+__all__ = [
+    "AcbTraceEvent",
+    "TraceCollector",
+    "TraceConfig",
+    "export_chrome",
+    "export_konata",
+    "format_acb_log",
+    "format_branch_timeline",
+]

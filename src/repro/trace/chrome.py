@@ -1,0 +1,180 @@
+"""Chrome trace-event JSON exporter (loads in Perfetto / chrome://tracing).
+
+Produces the JSON object form of the Trace Event Format: a top-level
+``{"traceEvents": [...]}`` with one complete (``"ph": "X"``) event per
+pipeline-stage occupancy and instant (``"ph": "i"``) events for ACB
+decisions.  Cycles map 1:1 onto microsecond timestamps, so "1 µs" in the
+viewer reads as one core cycle.
+
+Track layout:
+
+* **pid 1 "pipeline"** — one thread row per stage (``F`` fetch, ``A``
+  alloc/wait, ``X`` execute, ``C`` complete/wait-retire): each micro-op
+  contributes one slice per stage it occupied, named ``<seq>:<uop>@<pc>``
+  with its flags in ``args``.
+* **pid 2 "acb"** — thread rows ``regions`` (one slice per predicated
+  region, open → close), ``learning``/``tracking`` and ``dynamo``
+  (instants carrying the decision's counters in ``args``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.isa.dyninst import DynInst, ST_RETIRED
+from repro.trace.collector import TraceCollector
+from repro.trace.konata import _ROLE_NAMES, _stages
+
+_PID_PIPE = 1
+_PID_ACB = 2
+_STAGE_TIDS = {"F": 1, "A": 2, "X": 3, "C": 4}
+_TID_REGIONS = 1
+_TID_LEARNING = 2
+_TID_DYNAMO = 3
+
+_LEARNING_KINDS = (
+    "learning_load",
+    "learning_converged",
+    "learning_failed",
+    "tracking_diverged",
+)
+_DYNAMO_KINDS = ("dynamo_epoch", "dynamo_pair", "dynamo_reset")
+
+
+def _meta(pid: int, name: str, tid: int = 0, thread: str = "") -> List[Dict[str, Any]]:
+    events = [
+        {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+         "args": {"name": name}},
+    ]
+    if thread:
+        events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+             "args": {"name": thread}}
+        )
+    return events
+
+
+def _uop_args(dyn: DynInst) -> Dict[str, Any]:
+    args: Dict[str, Any] = {"seq": dyn.seq, "pc": dyn.pc}
+    if dyn.wrong_path:
+        args["wrong_path"] = True
+    if dyn.acb_role in _ROLE_NAMES:
+        args["role"] = _ROLE_NAMES[dyn.acb_role]
+        args["region"] = dyn.acb_id
+    if dyn.pred_false:
+        args["pred_false"] = True
+    if dyn.state != ST_RETIRED:
+        args["squashed"] = True
+    return args
+
+
+def _uop_events(dyn: DynInst, end_cycle: int) -> List[Dict[str, Any]]:
+    begins, terminal, _retired = _stages(dyn, end_cycle)
+    name = f"{dyn.seq}:{dyn.instr.uop.name}@{dyn.pc}"
+    args = _uop_args(dyn)
+    events = []
+    for i, (cycle, stage) in enumerate(begins):
+        stop = begins[i + 1][0] if i + 1 < len(begins) else terminal
+        events.append({
+            "name": name,
+            "cat": "uop",
+            "ph": "X",
+            "ts": cycle,
+            "dur": max(stop - cycle, 0),
+            "pid": _PID_PIPE,
+            "tid": _STAGE_TIDS[stage],
+            "args": args,
+        })
+    return events
+
+
+def _acb_events(trace: TraceCollector) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    open_regions: Dict[int, Any] = {}
+    for event in trace.acb_events():
+        if event.kind == "region_open":
+            open_regions[event.data["seq"]] = event
+            continue
+        if event.kind in ("region_close", "region_cancel"):
+            seq = event.data["seq"]
+            opened = open_regions.pop(seq, None)
+            start = opened.cycle if opened is not None else event.cycle
+            outcome = (
+                "cancelled" if event.kind == "region_cancel"
+                else "diverged" if event.data.get("diverged")
+                else "reconverged"
+            )
+            args = dict(opened.data) if opened is not None else {"seq": seq}
+            args.update(event.data)
+            args["outcome"] = outcome
+            events.append({
+                "name": f"region@{event.pc if event.pc >= 0 else '?'}",
+                "cat": "acb",
+                "ph": "X",
+                "ts": start,
+                "dur": max(event.cycle - start, 0),
+                "pid": _PID_ACB,
+                "tid": _TID_REGIONS,
+                "args": args,
+            })
+            continue
+        if event.kind in _LEARNING_KINDS:
+            tid = _TID_LEARNING
+        elif event.kind in _DYNAMO_KINDS:
+            tid = _TID_DYNAMO
+        else:  # region_resolve and any future kinds ride the regions row
+            tid = _TID_REGIONS
+        events.append({
+            "name": event.kind,
+            "cat": "acb",
+            "ph": "i",
+            "s": "t",
+            "ts": event.cycle,
+            "pid": _PID_ACB,
+            "tid": tid,
+            "args": event.to_dict(),
+        })
+    # regions still open at the window edge
+    for seq, opened in open_regions.items():
+        events.append({
+            "name": f"region@{opened.pc}",
+            "cat": "acb",
+            "ph": "X",
+            "ts": opened.cycle,
+            "dur": max(trace.end_cycle - opened.cycle, 0),
+            "pid": _PID_ACB,
+            "tid": _TID_REGIONS,
+            "args": dict(opened.data, outcome="open-at-end"),
+        })
+    return events
+
+
+def export_chrome(trace: TraceCollector, path: str) -> int:
+    """Write *trace* as Chrome trace-event JSON; returns the event count."""
+    events: List[Dict[str, Any]] = []
+    events += _meta(_PID_PIPE, "pipeline")
+    for stage, tid in _STAGE_TIDS.items():
+        events += _meta(_PID_PIPE, "pipeline", tid, f"stage {stage}")[1:]
+    events += _meta(_PID_ACB, "acb")
+    for tid, thread in ((_TID_REGIONS, "regions"), (_TID_LEARNING, "learning"),
+                        (_TID_DYNAMO, "dynamo")):
+        events += _meta(_PID_ACB, "acb", tid, thread)[1:]
+    for dyn in trace.uop_records():
+        events += _uop_events(dyn, trace.end_cycle)
+    events += _acb_events(trace)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.trace",
+            "cycles": f"{trace.start_cycle}..{trace.end_cycle}",
+            "uops_seen": trace.uops_seen,
+            "uops_truncated": trace.truncated_uops,
+            "acb_events_seen": trace.acb_seen,
+            "acb_events_truncated": trace.truncated_acb,
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    return len(events)

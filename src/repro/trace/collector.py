@@ -1,0 +1,112 @@
+"""The trace collector: bounded, allocation-light event recording.
+
+One :class:`TraceCollector` is owned by a :class:`~repro.core.engine.Core`
+when — and only when — ``CoreConfig.trace`` is set.  The disabled path
+costs the engine a single ``self.trace is not None`` test per fetched
+micro-op (plus one per retirement/flush/region event), so tier-1 timing
+behaviour and benchmark throughput are unchanged when tracing is off;
+``tests/test_trace.py`` enforces stat-for-stat identity both ways.
+
+Design notes
+------------
+* **Micro-ops are recorded by reference.**  ``on_fetch`` appends the
+  engine's own :class:`~repro.isa.dyninst.DynInst` to a bounded ring; the
+  instance keeps accumulating its stage cycle stamps (``fetch_cycle``,
+  ``alloc_cycle``, ``issue_cycle``, ``done_cycle``, ``retire_cycle``,
+  ``squash_cycle``) as the pipeline moves it along, and exporters read the
+  final values after the run.  No copy, no dict, no per-stage hook.
+* **ACB decisions are snapshotted.**  Region records and Dynamo counters
+  are mutable and reused, so each decision materializes one
+  :class:`~repro.trace.events.AcbTraceEvent` at the moment it happens.
+  Decision events are rare (region lifecycles, epoch boundaries), so the
+  cost is negligible even with tracing on.
+* **Rings drop oldest-first and never silently.**  ``uops_seen`` /
+  ``acb_seen`` count everything observed; ``truncated_uops`` /
+  ``truncated_acb`` report exactly how much fell off the back, and every
+  exporter surfaces that number.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional
+
+from repro.isa.dyninst import DynInst
+from repro.trace.config import TraceConfig
+from repro.trace.events import AcbTraceEvent
+
+
+class TraceCollector:
+    """Records per-uop lifecycle and ACB decision events for one core."""
+
+    def __init__(self, config: Optional[TraceConfig] = None):
+        self.config = config or TraceConfig()
+        self.config.validate()
+        self._uops: Optional[deque] = (
+            deque(maxlen=self.config.uop_capacity) if self.config.uops else None
+        )
+        self._acb: Optional[deque] = (
+            deque(maxlen=self.config.acb_capacity) if self.config.acb else None
+        )
+        self.uops_seen = 0
+        self.acb_seen = 0
+        self.start_cycle = 0
+        self.end_cycle = 0
+
+    # ------------------------------------------------------------------
+    # recording hooks (engine / scheme / Dynamo side)
+    # ------------------------------------------------------------------
+    def on_fetch(self, dyn: DynInst) -> None:
+        """Record one fetched micro-op (called from ``Core._new_dyn``)."""
+        ring = self._uops
+        if ring is None:
+            return
+        ring.append(dyn)
+        self.uops_seen += 1
+
+    def acb(self, cycle: int, kind: str, pc: int = -1, **data) -> None:
+        """Record one ACB decision event (see :mod:`repro.trace.events`)."""
+        ring = self._acb
+        if ring is None:
+            return
+        ring.append(AcbTraceEvent(cycle, kind, pc, **data))
+        self.acb_seen += 1
+
+    def finish(self, cycle: int) -> None:
+        """Close the trace window (exporters clamp open intervals here)."""
+        self.end_cycle = cycle
+
+    # ------------------------------------------------------------------
+    # read side (exporters)
+    # ------------------------------------------------------------------
+    @property
+    def truncated_uops(self) -> int:
+        """Micro-ops observed but no longer in the ring (oldest dropped)."""
+        return self.uops_seen - len(self._uops or ())
+
+    @property
+    def truncated_acb(self) -> int:
+        return self.acb_seen - len(self._acb or ())
+
+    def uop_records(self) -> List[DynInst]:
+        """The retained micro-ops, oldest first (fetch order == seq order)."""
+        return list(self._uops or ())
+
+    def acb_events(self, kinds: Optional[Iterable[str]] = None) -> List[AcbTraceEvent]:
+        """The retained decision events, oldest first, optionally filtered."""
+        events = list(self._acb or ())
+        if kinds is not None:
+            wanted = frozenset(kinds)
+            events = [e for e in events if e.kind in wanted]
+        return events
+
+    def summary(self) -> str:
+        """One-line accounting for CLI output and log headers."""
+        parts = [
+            f"cycles {self.start_cycle}..{self.end_cycle}",
+            f"{self.uops_seen} uops seen"
+            + (f" ({self.truncated_uops} truncated)" if self.truncated_uops else ""),
+            f"{self.acb_seen} acb events"
+            + (f" ({self.truncated_acb} truncated)" if self.truncated_acb else ""),
+        ]
+        return ", ".join(parts)

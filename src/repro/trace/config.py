@@ -1,0 +1,50 @@
+"""Trace-subsystem configuration.
+
+Kept dependency-free so :class:`repro.core.config.CoreConfig` can embed a
+:class:`TraceConfig` without importing any collector machinery: the core
+only pays for tracing when a config is present (``CoreConfig.trace`` is
+``None`` by default, and the engine's hot loop then contains nothing but a
+single ``is not None`` test per fetched micro-op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What to record and how much of it to keep.
+
+    Attributes
+    ----------
+    uops:
+        Record the per-micro-op lifecycle (fetch/allocate/issue/execute/
+        retire/squash cycles, wrong-path and predicated-false flags).  The
+        collector keeps *references* to the engine's in-flight
+        :class:`~repro.isa.dyninst.DynInst` objects in a bounded ring, so
+        recording adds one append per fetch and zero copies.
+    acb:
+        Record ACB decision events: region open/close/divergence/
+        cancellation, branch resolution inside regions, learning-table
+        transitions, tracking-table divergences, and Dynamo epoch/pair/
+        reset decisions with the cycle counters that drove them.
+    uop_capacity:
+        Ring-buffer capacity for micro-op records; the *oldest* records are
+        dropped first once the ring is full.  ``uops_seen`` on the
+        collector reports how many were observed in total so exporters can
+        say exactly how much was truncated.
+    acb_capacity:
+        Ring-buffer capacity for ACB decision events.
+    """
+
+    uops: bool = True
+    acb: bool = True
+    uop_capacity: int = 1 << 16
+    acb_capacity: int = 1 << 14
+
+    def validate(self) -> None:
+        if self.uop_capacity <= 0:
+            raise ValueError("uop_capacity must be positive")
+        if self.acb_capacity <= 0:
+            raise ValueError("acb_capacity must be positive")

@@ -1,0 +1,73 @@
+"""ACB decision-event records.
+
+Micro-op lifecycle information needs no record type of its own: the
+collector keeps references to the engine's :class:`~repro.isa.dyninst.
+DynInst` objects, which already carry every per-stage cycle stamp.  ACB
+decisions, by contrast, are transient — a region record is reused, a
+Dynamo epoch counter is reset — so each decision is snapshotted into an
+:class:`AcbTraceEvent` at the moment it happens.
+
+Event kinds
+-----------
+``region_open``
+    A predicated region began dual-path fetch.
+    data: ``seq``, ``reconv_pc``, ``conv_type``, ``first_taken``,
+    ``true_taken``.
+``region_close``
+    The front end closed a region (reconverged or declared divergent).
+    data: ``seq``, ``fetched``, ``diverged``.
+``region_cancel``
+    An older flush tore the region down before it could close.
+    data: ``seq``.
+``region_resolve``
+    The predicated branch executed.  data: ``seq``, ``taken``,
+    ``pred_taken``, ``diverged``, ``saved_flush`` (the discarded
+    prediction was wrong — predication hid a would-be flush).
+``learning_load`` / ``learning_converged`` / ``learning_failed``
+    Learning Table lifecycle (Section III-B).  ``learning_load`` data:
+    ``target``, ``far`` (multi-reconvergence re-learning pass);
+    ``learning_converged`` data: ``conv_type``, ``reconv_pc``,
+    ``body_size``, ``far``.
+``tracking_diverged``
+    The Tracking Table saw a learned reconvergence point fail to appear;
+    the branch's confidence was reset.
+``dynamo_epoch``
+    A Dynamo epoch ended.  data: ``epoch``, ``measuring_off``,
+    ``cycles``, ``instructions`` (the per-epoch IPC numerator/denominator
+    Dynamo compares).
+``dynamo_pair``
+    An odd/even epoch pair was evaluated (the enable/disable decision,
+    Figure 5).  data: ``cycles_off``, ``cycles_on``, ``instructions``,
+    ``direction`` (+1 helped / -1 hurt / 0 inconclusive), ``transitions``
+    (list of ``(pc, old_fsm, new_fsm)``).
+``dynamo_reset``
+    Periodic re-learning reset of every FSM/involvement counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class AcbTraceEvent:
+    """One timestamped ACB machinery decision."""
+
+    __slots__ = ("cycle", "kind", "pc", "data")
+
+    def __init__(self, cycle: int, kind: str, pc: int = -1, **data: Any):
+        self.cycle = cycle
+        self.kind = kind
+        self.pc = pc
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (exporters, decision-log files)."""
+        out: Dict[str, Any] = {"cycle": self.cycle, "kind": self.kind}
+        if self.pc >= 0:
+            out["pc"] = self.pc
+        out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pc = f" pc={self.pc}" if self.pc >= 0 else ""
+        return f"<AcbTraceEvent @{self.cycle} {self.kind}{pc} {self.data}>"

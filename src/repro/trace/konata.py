@@ -1,0 +1,132 @@
+"""Konata pipeline-viewer exporter.
+
+Writes the Kanata log format consumed by the Konata pipeline visualizer
+(https://github.com/shioyadan/Konata) — the same format Onikiri2 and
+gem5's O3 pipeline viewer converters emit.  One line per event, tab
+separated:
+
+==========  =====================================================
+``Kanata\\t0004``        header (format version 4)
+``C=\\t<cycle>``         absolute starting cycle
+``C\\t<n>``              advance the clock by *n* cycles
+``I\\t<id>\\t<iid>\\t<tid>``  declare an instruction (display id, sim id, thread)
+``L\\t<id>\\t<type>\\t<text>`` label; type 0 = left pane, 1 = hover detail
+``S\\t<id>\\t<lane>\\t<stage>`` stage begin
+``E\\t<id>\\t<lane>\\t<stage>`` stage end
+``R\\t<id>\\t<rid>\\t<type>``  retire; type 0 = commit, 1 = flush
+==========  =====================================================
+
+Stage names map onto the simulator's pipeline: ``F`` fetch queue, ``A``
+allocated / waiting in the scheduler, ``X`` executing, ``C`` complete /
+waiting to retire.  Squashed micro-ops (wrong path, flushed, torn regions)
+end with a type-1 (flush) retire at their squash cycle; micro-ops still in
+flight when the trace window closes are flushed at the window edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa.dyninst import (
+    DynInst,
+    ROLE_BODY,
+    ROLE_BRANCH,
+    ROLE_JUMPER,
+    ROLE_SELECT,
+    ST_RETIRED,
+)
+from repro.trace.collector import TraceCollector
+
+_ROLE_NAMES = {
+    ROLE_BRANCH: "acb-branch",
+    ROLE_BODY: "acb-body",
+    ROLE_JUMPER: "acb-jumper",
+    ROLE_SELECT: "acb-select",
+}
+
+# (priority, line) ordering inside one cycle: declarations and labels first,
+# then stage ends, stage begins, and retires last.
+_P_DECL, _P_END, _P_START, _P_RETIRE = 0, 1, 2, 3
+
+
+def _detail(dyn: DynInst) -> str:
+    bits = [f"seq={dyn.seq}", f"pc={dyn.pc}"]
+    if dyn.wrong_path:
+        bits.append("wrong-path")
+    if dyn.acb_role in _ROLE_NAMES:
+        bits.append(f"{_ROLE_NAMES[dyn.acb_role]}(region={dyn.acb_id})")
+    if dyn.pred_false:
+        bits.append("pred-false")
+    if dyn.transparent:
+        bits.append("transparent")
+    if dyn.diverged:
+        bits.append("diverged")
+    if dyn.instr.is_cond_branch and dyn.taken is not None:
+        bits.append(f"taken={dyn.taken} pred={dyn.pred_taken}")
+    if dyn.mem_addr is not None:
+        bits.append(f"addr={dyn.mem_addr:#x}")
+    return " ".join(bits)
+
+
+def _stages(dyn: DynInst, end_cycle: int) -> Tuple[List[Tuple[int, str]], int, bool]:
+    """Stage begin points, the terminal cycle, and whether it committed."""
+    retired = dyn.state == ST_RETIRED
+    if retired:
+        terminal = dyn.retire_cycle
+    elif dyn.squash_cycle >= 0:
+        terminal = dyn.squash_cycle
+    else:
+        terminal = end_cycle  # still in flight at the window edge
+    begins = [(dyn.fetch_cycle, "F")]
+    for cycle, stage in (
+        (dyn.alloc_cycle, "A"),
+        (dyn.issue_cycle, "X"),
+        (dyn.done_cycle, "C"),
+    ):
+        if 0 <= cycle <= terminal:
+            begins.append((cycle, stage))
+    return begins, max(terminal, dyn.fetch_cycle), retired
+
+
+def export_konata(trace: TraceCollector, path: str) -> int:
+    """Write *trace*'s micro-op lifecycle to *path*; returns the uop count.
+
+    The file always loads in Konata, even for partial windows: truncation
+    is reported in a leading comment, never silently.
+    """
+    uops = trace.uop_records()
+    lines: List[Tuple[int, int, int, str]] = []  # (cycle, seq, priority, text)
+
+    for file_id, dyn in enumerate(uops):
+        begins, terminal, retired = _stages(dyn, trace.end_cycle)
+        fetch = dyn.fetch_cycle
+        lines.append((fetch, dyn.seq, _P_DECL, f"I\t{file_id}\t{dyn.seq}\t0"))
+        lines.append(
+            (fetch, dyn.seq, _P_DECL, f"L\t{file_id}\t0\t{dyn.seq}: {dyn.instr}")
+        )
+        lines.append((fetch, dyn.seq, _P_DECL, f"L\t{file_id}\t1\t{_detail(dyn)}"))
+        for i, (cycle, stage) in enumerate(begins):
+            if i:
+                prev_stage = begins[i - 1][1]
+                lines.append((cycle, dyn.seq, _P_END, f"E\t{file_id}\t0\t{prev_stage}"))
+            lines.append((cycle, dyn.seq, _P_START, f"S\t{file_id}\t0\t{stage}"))
+        last_stage = begins[-1][1]
+        lines.append((terminal, dyn.seq, _P_END, f"E\t{file_id}\t0\t{last_stage}"))
+        flush = 0 if retired else 1
+        lines.append((terminal, dyn.seq, _P_RETIRE, f"R\t{file_id}\t{dyn.seq}\t{flush}"))
+
+    lines.sort(key=lambda item: (item[0], item[2], item[1]))
+    start = lines[0][0] if lines else trace.start_cycle
+    out = ["Kanata\t0004"]
+    if trace.truncated_uops:
+        out.append(f"#\ttruncated: {trace.truncated_uops} older uops dropped")
+    out.append(f"C=\t{start}")
+    clock = start
+    for cycle, _seq, _prio, text in lines:
+        if cycle > clock:
+            out.append(f"C\t{cycle - clock}")
+            clock = cycle
+        out.append(text)
+    with open(path, "w") as fh:
+        fh.write("\n".join(out) + "\n")
+    return len(uops)

@@ -1,0 +1,165 @@
+"""Plain-text trace views: the ACB decision log and per-branch timelines.
+
+Where the Konata/Chrome exporters answer "what did the pipeline do",
+these answer "why did ACB decide what it decided" — e.g. walking one
+branch from Critical-Table saturation through convergence learning,
+predication, and a Dynamo disable, without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.acb.acb_table import STATE_NAMES
+from repro.isa.dyninst import DynInst, ROLE_BRANCH, ST_RETIRED
+from repro.trace.collector import TraceCollector
+from repro.trace.events import AcbTraceEvent
+
+
+def _dir(taken: Optional[bool]) -> str:
+    if taken is None:
+        return "?"
+    return "T" if taken else "NT"
+
+
+def _fsm(state: int) -> str:
+    return STATE_NAMES.get(state, str(state))
+
+
+def _format_event(event: AcbTraceEvent) -> str:
+    d = event.data
+    head = f"[cycle {event.cycle:>8}] {event.kind:<18}"
+    if event.pc >= 0:
+        head += f" pc={event.pc:<5}"
+    if event.kind == "region_open":
+        return head + (
+            f" seq={d['seq']} reconv={d['reconv_pc']} type={d['conv_type']}"
+            f" first={_dir(d['first_taken'])} actual={_dir(d['true_taken'])}"
+        )
+    if event.kind == "region_close":
+        outcome = "diverged" if d.get("diverged") else "reconverged"
+        return head + f" seq={d['seq']} fetched={d['fetched']} {outcome}"
+    if event.kind == "region_cancel":
+        return head + f" seq={d['seq']} torn by an older flush"
+    if event.kind == "region_resolve":
+        tail = f" seq={d['seq']} taken={_dir(d['taken'])} pred={_dir(d['pred_taken'])}"
+        if d.get("saved_flush"):
+            tail += " saved-flush"
+        if d.get("diverged"):
+            tail += " diverged"
+        return head + tail
+    if event.kind == "learning_load":
+        tail = f" target={d['target']}"
+        if d.get("far"):
+            tail += " (far reconvergence re-learn)"
+        return head + tail
+    if event.kind == "learning_converged":
+        tail = (
+            f" type={d['conv_type']} reconv={d['reconv_pc']}"
+            f" body={d['body_size']}"
+        )
+        if d.get("far"):
+            tail += " (far)"
+        return head + tail
+    if event.kind == "learning_failed":
+        return head + " no convergence within the scan limit"
+    if event.kind == "tracking_diverged":
+        return head + " learned reconvergence point missed; confidence reset"
+    if event.kind == "dynamo_epoch":
+        mode = "ACB-off" if d["measuring_off"] else "ACB-on"
+        ipc = d["instructions"] / d["cycles"] if d["cycles"] else 0.0
+        return head + (
+            f" epoch={d['epoch']} ({mode}) cycles={d['cycles']}"
+            f" instructions={d['instructions']} ipc={ipc:.3f}"
+        )
+    if event.kind == "dynamo_pair":
+        verdict = {1: "predication helped", -1: "predication hurt",
+                   0: "inconclusive"}[d["direction"]]
+        line = head + (
+            f" cycles_off={d['cycles_off']} cycles_on={d['cycles_on']}"
+            f" ({verdict})"
+        )
+        for pc, old, new in d.get("transitions", ()):
+            line += f"\n{'':>25}-> pc={pc} {_fsm(old)} -> {_fsm(new)}"
+        return line
+    if event.kind == "dynamo_reset":
+        return head + " periodic FSM/involvement reset"
+    extras = " ".join(f"{k}={v}" for k, v in d.items())
+    return (head + " " + extras).rstrip()
+
+
+def format_acb_log(trace: TraceCollector) -> str:
+    """The full ACB decision log, one event per line, oldest first."""
+    lines = [f"# acb decision log — {trace.summary()}"]
+    if trace.truncated_acb:
+        lines.append(f"# NOTE: {trace.truncated_acb} older events dropped")
+    lines.extend(_format_event(e) for e in trace.acb_events())
+    return "\n".join(lines)
+
+
+def _branch_occurrences(trace: TraceCollector) -> Dict[int, List[DynInst]]:
+    by_pc: Dict[int, List[DynInst]] = {}
+    for dyn in trace.uop_records():
+        if dyn.instr.is_cond_branch and not dyn.wrong_path:
+            by_pc.setdefault(dyn.pc, []).append(dyn)
+    return by_pc
+
+
+def _occurrence_line(dyn: DynInst) -> str:
+    if dyn.acb_role == ROLE_BRANCH:
+        outcome = "diverged" if dyn.diverged else "predicated"
+        if not dyn.diverged and dyn.pred_taken is not None and dyn.taken is not None \
+                and dyn.pred_taken != dyn.taken:
+            outcome += " (saved flush)"
+    elif dyn.state != ST_RETIRED and dyn.squash_cycle >= 0:
+        outcome = "squashed"
+    elif dyn.pred_taken is not None and dyn.taken is not None \
+            and dyn.pred_taken != dyn.taken:
+        outcome = "MISPREDICT"
+    else:
+        outcome = "correct"
+    return (
+        f"  cycle {dyn.fetch_cycle:>8}  seq={dyn.seq:<7}"
+        f" pred={_dir(dyn.pred_taken):<2} actual={_dir(dyn.taken):<2} {outcome}"
+    )
+
+
+def format_branch_timeline(
+    trace: TraceCollector,
+    pc: Optional[int] = None,
+    max_occurrences: int = 50,
+) -> str:
+    """Per-static-branch occurrence timelines from the micro-op ring.
+
+    For every correct-path conditional branch PC (or just *pc*): each
+    retained occurrence with its prediction, outcome, and predication
+    fate, followed by that PC's region events from the decision log.
+    Shows at most *max_occurrences* of the newest occurrences per branch
+    and says how many were omitted.
+    """
+    by_pc = _branch_occurrences(trace)
+    if pc is not None:
+        by_pc = {pc: by_pc.get(pc, [])}
+    region_events: Dict[int, List[AcbTraceEvent]] = {}
+    for event in trace.acb_events():
+        if event.pc >= 0 and event.kind.startswith(("region_", "learning_",
+                                                    "tracking_")):
+            region_events.setdefault(event.pc, []).append(event)
+
+    lines = [f"# per-branch timeline — {trace.summary()}"]
+    for branch_pc in sorted(by_pc):
+        occurrences = by_pc[branch_pc]
+        mispredicted = sum(1 for d in occurrences if d.mispredicted)
+        predicated = sum(1 for d in occurrences if d.acb_role == ROLE_BRANCH)
+        lines.append("")
+        lines.append(
+            f"branch pc={branch_pc}: {len(occurrences)} occurrences in window"
+            f" ({mispredicted} mispredicted, {predicated} predicated)"
+        )
+        omitted = len(occurrences) - max_occurrences
+        if omitted > 0:
+            lines.append(f"  ... {omitted} older occurrences omitted ...")
+        lines.extend(_occurrence_line(d) for d in occurrences[-max_occurrences:])
+        for event in region_events.get(branch_pc, ())[-max_occurrences:]:
+            lines.append("  " + _format_event(event))
+    return "\n".join(lines)

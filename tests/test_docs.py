@@ -1,0 +1,110 @@
+"""Tests for the documentation checker (tools/check_docs.py).
+
+The repo's own docs must pass, and the checker must actually detect the
+failure modes it exists for — a checker that never fails checks nothing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "tools", "check_docs.py")
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestRepoDocsPass:
+    def test_all_links_resolve(self):
+        findings = [f for path in checker.doc_files()
+                    for f in checker.check_links(path)]
+        assert findings == []
+
+    def test_python_snippets_compile(self):
+        # full execution is the CI docs job; the unit suite only compiles
+        for path in checker.doc_files():
+            for snippet in checker.snippets(path):
+                if snippet.lang == "python":
+                    compile(snippet.text, f"{path}:{snippet.line}", "exec")
+
+    def test_bash_snippets_validate(self):
+        subcommands = checker._cli_subcommands()
+        assert "trace" in subcommands and "run" in subcommands
+        findings = [
+            f for path in checker.doc_files()
+            for snippet in checker.snippets(path)
+            if snippet.lang == "bash"
+            for f in checker.check_bash(snippet, subcommands)
+        ]
+        assert findings == []
+
+    def test_observability_doc_exists_and_indexed(self):
+        assert os.path.exists(os.path.join(REPO, "docs", "observability.md"))
+        readme = open(os.path.join(REPO, "README.md")).read()
+        assert "docs/observability.md" in readme
+
+
+class TestCheckerCatches:
+    def test_broken_link_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("see [missing](no/such/file.md) for details\n")
+        findings = list(checker.check_links(str(doc)))
+        assert len(findings) == 1
+        assert "no/such/file.md" in findings[0]
+
+    def test_external_links_not_fetched(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text("[x](https://example.com/y) [y](mailto:a@b.c)\n")
+        assert list(checker.check_links(str(doc))) == []
+
+    def test_bad_subcommand_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("```bash\npython -m repro frobnicate lammps\n```\n")
+        (snippet,) = checker.snippets(str(doc))
+        findings = list(checker.check_bash(snippet, {"run", "trace"}))
+        assert findings and "frobnicate" in findings[0]
+
+    def test_missing_path_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("```bash\npytest tests/no_such_test.py\n```\n")
+        (snippet,) = checker.snippets(str(doc))
+        findings = list(checker.check_bash(snippet, set()))
+        assert findings and "no_such_test.py" in findings[0]
+
+    def test_syntax_error_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("```python\ndef broken(:\n```\n")
+        (snippet,) = checker.snippets(str(doc))
+        findings = list(checker.check_python(snippet))
+        assert findings and "compile" in findings[0]
+
+    def test_skip_marker_respected(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text(
+            "<!-- doccheck: skip -->\n"
+            "```python\nraise RuntimeError('never executed')\n```\n"
+        )
+        (snippet,) = checker.snippets(str(doc))
+        assert snippet.skipped
+        assert list(checker.check_python(snippet)) == []
+
+
+class TestCheckerCli:
+    def test_exit_zero_on_repo(self):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT], cwd=REPO,
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout

@@ -1,0 +1,329 @@
+"""Tests for the cycle-level trace subsystem (repro.trace).
+
+Covers the collector's ring-buffer semantics, golden-file stability of the
+Konata and Chrome exporters, format validity of both outputs, the ACB
+decision log, and the guard the whole subsystem rests on: enabling tracing
+must not change simulated timing.
+
+Regenerate the golden files after an intentional format change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.__main__ import main
+from repro.acb.scheme import AcbScheme
+from repro.core.config import SKYLAKE_LIKE
+from repro.core.engine import Core
+from repro.isa.dyninst import DynInst
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import UopClass
+from repro.trace import (
+    AcbTraceEvent,
+    TraceCollector,
+    TraceConfig,
+    export_chrome,
+    export_konata,
+    format_acb_log,
+    format_branch_timeline,
+)
+from repro.workloads import load_suite
+
+from tests.conftest import h2p_hammock_workload
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _traced_core(workload, scheme=None, config=None):
+    cfg = replace(config or SKYLAKE_LIKE, trace=TraceConfig())
+    return Core(workload, cfg, scheme=scheme)
+
+
+def _dyn(seq, pc=0):
+    instr = Instruction(pc=pc, uop=UopClass.ALU, dst=1, srcs=(1,))
+    return DynInst(seq, instr)
+
+
+class TestTraceConfig:
+    def test_defaults_valid(self):
+        TraceConfig().validate()
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceConfig(uop_capacity=0).validate()
+        with pytest.raises(ValueError):
+            TraceConfig(acb_capacity=-1).validate()
+
+    def test_core_config_validates_embedded_trace(self):
+        cfg = replace(SKYLAKE_LIKE, trace=TraceConfig(uop_capacity=0))
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+
+class TestCollector:
+    def test_records_uops_by_reference(self):
+        coll = TraceCollector(TraceConfig())
+        dyn = _dyn(0)
+        coll.on_fetch(dyn)
+        assert coll.uop_records()[0] is dyn
+        assert coll.uops_seen == 1
+
+    def test_uop_ring_truncates_oldest(self):
+        coll = TraceCollector(TraceConfig(uop_capacity=4))
+        for seq in range(10):
+            coll.on_fetch(_dyn(seq))
+        kept = [d.seq for d in coll.uop_records()]
+        assert kept == [6, 7, 8, 9]
+        assert coll.uops_seen == 10
+        assert coll.truncated_uops == 6
+
+    def test_acb_ring_truncates_oldest(self):
+        coll = TraceCollector(TraceConfig(acb_capacity=2))
+        for cycle in range(5):
+            coll.acb(cycle, "region_open", pc=6, seq=cycle)
+        events = coll.acb_events()
+        assert [e.cycle for e in events] == [3, 4]
+        assert coll.acb_seen == 5
+        assert coll.truncated_acb == 3
+
+    def test_acb_event_kind_filter(self):
+        coll = TraceCollector(TraceConfig())
+        coll.acb(1, "region_open", pc=6)
+        coll.acb(2, "dynamo_epoch", epoch=1)
+        coll.acb(3, "region_close", pc=6)
+        kinds = [e.kind for e in coll.acb_events(kinds=("region_open",))]
+        assert kinds == ["region_open"]
+
+    def test_uops_disabled_by_config(self):
+        coll = TraceCollector(TraceConfig(uops=False))
+        coll.on_fetch(_dyn(0))
+        assert coll.uop_records() == []
+        assert coll.uops_seen == 0
+
+    def test_acb_disabled_by_config(self):
+        coll = TraceCollector(TraceConfig(acb=False))
+        coll.acb(1, "region_open", pc=6)
+        assert coll.acb_events() == []
+
+    def test_finish_pins_cycle_range(self):
+        coll = TraceCollector(TraceConfig())
+        coll.finish(1234)
+        assert coll.end_cycle == 1234
+        assert "1234" in coll.summary()
+
+    def test_event_to_dict_merges_payload(self):
+        ev = AcbTraceEvent(7, "region_open", pc=6, seq=11)
+        assert ev.to_dict() == {"cycle": 7, "kind": "region_open",
+                                "pc": 6, "seq": 11}
+
+
+def _golden_case(tmp_path):
+    """Pinned micro run shared by the golden-file tests."""
+    core = _traced_core(h2p_hammock_workload(seed=7), scheme=AcbScheme())
+    core.run(150)
+    core.trace.finish(core.cycle)
+    return core
+
+
+class TestGoldenExports:
+    """Exporters are locked to golden files: any format change is explicit."""
+
+    def _check(self, name, produce, tmp_path):
+        out = tmp_path / name
+        produce(str(out))
+        golden = os.path.join(GOLDEN_DIR, name)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(golden, "w") as handle:
+                handle.write(out.read_text())
+            pytest.skip(f"regenerated {golden}")
+        with open(golden) as handle:
+            assert out.read_text() == handle.read(), (
+                f"{name} drifted from golden; if intentional, regenerate via "
+                f"REPRO_REGEN_GOLDEN=1"
+            )
+
+    def test_konata_golden(self, tmp_path):
+        core = _golden_case(tmp_path)
+        self._check("h2p_trace.konata",
+                    lambda p: export_konata(core.trace, p), tmp_path)
+
+    def test_chrome_golden(self, tmp_path):
+        core = _golden_case(tmp_path)
+        self._check("h2p_trace.json",
+                    lambda p: export_chrome(core.trace, p), tmp_path)
+
+
+class TestKonataFormat:
+    def test_header_and_line_grammar(self, tmp_path):
+        core = _golden_case(tmp_path)
+        path = tmp_path / "t.konata"
+        count = export_konata(core.trace, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "Kanata\t0004"
+        assert lines[1].startswith("C=\t")
+        starts = retires = flushes = 0
+        for line in lines[2:]:
+            head = line.split("\t", 1)[0]
+            assert head in {"#", "C", "I", "L", "S", "E", "R"}, line
+            if head == "I":
+                starts += 1
+            elif head == "R":
+                retires += 1
+                if line.split("\t")[3] == "1":
+                    flushes += 1
+        assert starts == count == core.trace.uops_seen
+        assert retires == starts      # every uop ends (retire or flush)
+        assert 0 < flushes < retires  # wrong path exists but is not everything
+
+    def test_stage_intervals_cover_lifetime(self, tmp_path):
+        core = _golden_case(tmp_path)
+        path = tmp_path / "t.konata"
+        export_konata(core.trace, str(path))
+        # pick one retired uop and check F/A/X/C all appear for it
+        retired = next(d for d in core.trace.uop_records()
+                       if d.retire_cycle >= 0 and d.issue_cycle >= 0)
+        stages = set()
+        for line in path.read_text().splitlines():
+            parts = line.split("\t")
+            if parts[0] == "S" and parts[1] == str(retired.seq):
+                stages.add(parts[3])
+        assert stages == {"F", "A", "X", "C"}
+
+
+class TestChromeFormat:
+    def test_loads_as_trace_event_json(self, tmp_path):
+        core = _golden_case(tmp_path)
+        path = tmp_path / "t.json"
+        export_chrome(core.trace, str(path))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert set(doc) >= {"traceEvents", "otherData", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert events, "no events exported"
+        for event in events:
+            assert event["ph"] in {"X", "i", "M"}
+            if event["ph"] == "X":
+                assert event["dur"] >= 1
+                assert event["ts"] >= 0
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["pid"], e["name"]) for e in meta}
+        assert (1, "process_name") in names and (2, "process_name") in names
+        assert doc["otherData"]["uops_truncated"] == 0
+
+    def test_region_slices_carry_outcome(self, lammps_trace, tmp_path):
+        path = tmp_path / "t.json"
+        export_chrome(lammps_trace, str(path))
+        with open(path) as handle:
+            doc = json.load(handle)
+        regions = [e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and e["pid"] == 2]
+        assert regions
+        outcomes = {e["args"]["outcome"] for e in regions}
+        assert "reconverged" in outcomes
+        assert outcomes <= {"reconverged", "diverged", "cancelled",
+                            "open-at-end"}
+
+
+@pytest.fixture(scope="module")
+def lammps_trace():
+    """Micro workload long enough for regions AND a Dynamo pair decision."""
+    (workload,) = load_suite(["lammps"])
+    core = _traced_core(workload, scheme=AcbScheme())
+    core.run_window(warmup=3000, measure=2000)
+    core.trace.finish(core.cycle)
+    return core.trace
+
+
+class TestDecisionLog:
+    """Acceptance: a micro workload yields region lifecycles and a Dynamo
+    decision, all visible in the exported log."""
+
+    def test_region_lifecycle_present(self, lammps_trace):
+        kinds = {e.kind for e in lammps_trace.acb_events()}
+        assert "region_open" in kinds and "region_close" in kinds
+        opens = lammps_trace.acb_events(kinds=("region_open",))
+        closes = lammps_trace.acb_events(kinds=("region_close",))
+        assert len(opens) >= 1 and len(closes) >= 1
+
+    def test_dynamo_decision_present(self, lammps_trace):
+        kinds = {e.kind for e in lammps_trace.acb_events()}
+        assert "dynamo_epoch" in kinds
+        assert "dynamo_pair" in kinds
+
+    def test_log_renders_every_event(self, lammps_trace):
+        log = format_acb_log(lammps_trace)
+        # one "[cycle ...]" line per event; FSM transitions indent under
+        # their dynamo_pair line
+        lines = [ln for ln in log.splitlines() if ln.startswith("[cycle")]
+        assert len(lines) == len(lammps_trace.acb_events())
+        assert any("dynamo_pair" in ln for ln in lines)
+        assert any("region_open" in ln for ln in lines)
+
+    def test_timeline_reports_branch(self, lammps_trace):
+        text = format_branch_timeline(lammps_trace)
+        assert "branch pc=" in text
+        assert "predicated" in text
+
+
+class TestOverheadGuard:
+    """Tracing must be observation-only: timing identical on vs off."""
+
+    def test_simstats_identical_with_tracing(self):
+        def run(trace_cfg):
+            core = Core(
+                h2p_hammock_workload(seed=7),
+                replace(SKYLAKE_LIKE, trace=trace_cfg),
+                scheme=AcbScheme(),
+            )
+            return core.run(2000).to_dict()
+
+        assert run(None) == run(TraceConfig())
+
+    def test_disabled_path_allocates_no_collector(self):
+        core = Core(h2p_hammock_workload(seed=7), SKYLAKE_LIKE)
+        assert core.trace is None
+
+
+class TestTraceCli:
+    def test_trace_subcommand_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main([
+            "trace", "lammps", "--config", "acb",
+            "--warmup", "3000", "--measure", "2000",
+            "--out", str(out),
+        ]) == 0
+        for name in ("trace.konata", "trace.json", "acb_log.txt",
+                     "timeline.txt"):
+            assert (out / name).exists(), name
+        # Konata output opens with the expected magic
+        assert (out / "trace.konata").read_text().startswith("Kanata\t0004")
+        # Chrome output parses and carries ACB events
+        doc = json.loads((out / "trace.json").read_text())
+        assert any(e.get("pid") == 2 for e in doc["traceEvents"])
+        log = (out / "acb_log.txt").read_text()
+        assert "region_open" in log and "dynamo" in log
+        captured = capsys.readouterr()
+        assert "artifacts:" in captured.err
+
+    def test_formats_subset(self, tmp_path, capsys):
+        out = tmp_path / "subset"
+        assert main([
+            "trace", "lammps", "--warmup", "600", "--measure", "600",
+            "--out", str(out), "--formats", "log",
+        ]) == 0
+        assert (out / "acb_log.txt").exists()
+        assert not (out / "trace.konata").exists()
+
+    def test_unknown_format_rejected(self, tmp_path, capsys):
+        assert main([
+            "trace", "lammps", "--out", str(tmp_path),
+            "--formats", "protobuf",
+        ]) == 2

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Documentation checker: links resolve, documented code actually runs.
+
+Run from the repository root (CI's ``docs`` job does)::
+
+    python tools/check_docs.py
+
+Three passes over ``README.md`` and ``docs/*.md``:
+
+1. **Links.**  Every relative markdown link target (``[text](path)``,
+   ``#anchor`` stripped) must exist on disk.  ``http(s)``/``mailto``
+   targets are not fetched.
+2. **Python snippets.**  Every fenced ``python`` block must compile; it
+   is then executed in a scratch directory with ``src/`` importable.
+   Blocks may use an undefined ``workload`` variable — the checker
+   pre-seeds one small suite workload, so illustrative fragments stay
+   short.  A ``<!-- doccheck: skip -->`` comment on the line directly
+   above a fence downgrades that block to compile-only (for fragments
+   that are illustrative by design or too slow for CI).
+3. **Shell snippets.**  Fenced ``bash`` blocks are statically validated
+   line by line: ``python -m repro <cmd>`` must name a real CLI
+   subcommand, and path-like arguments to ``python``/``pytest`` must
+   exist.  Nothing is executed — these blocks include full-matrix runs.
+
+Exit status 0 when everything passes; 1 with a per-finding report
+otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from typing import Iterator, List, NamedTuple
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_MARKER = "<!-- doccheck: skip -->"
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+class Snippet(NamedTuple):
+    path: str
+    line: int
+    lang: str
+    text: str
+    skipped: bool
+
+
+def doc_files() -> List[str]:
+    files = [os.path.join(REPO, "README.md")]
+    docs_dir = os.path.join(REPO, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs_dir, name))
+    return files
+
+
+# ----------------------------------------------------------------------
+# pass 1: links
+# ----------------------------------------------------------------------
+def check_links(path: str) -> Iterator[str]:
+    base = os.path.dirname(path)
+    root = REPO if os.path.abspath(path).startswith(REPO) else base
+    for lineno, line in enumerate(open(path), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not resolved.startswith(root):
+                continue  # GitHub-relative URL (e.g. the CI badge)
+            if not os.path.exists(resolved):
+                yield (f"{os.path.relpath(path, REPO)}:{lineno}: "
+                       f"broken link -> {target}")
+
+
+# ----------------------------------------------------------------------
+# pass 2 + 3: fenced code blocks
+# ----------------------------------------------------------------------
+def snippets(path: str) -> Iterator[Snippet]:
+    lines = open(path).read().splitlines()
+    i = 0
+    skip_next = False
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped == SKIP_MARKER:
+            skip_next = True
+            i += 1
+            continue
+        match = FENCE_RE.match(stripped)
+        if match:
+            lang = match.group(1).lower()
+            start = i + 1
+            i = start
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                i += 1
+            yield Snippet(path, start + 1, lang,
+                          "\n".join(lines[start:i]), skip_next)
+            skip_next = False
+        elif stripped:
+            skip_next = False
+        i += 1
+
+
+_PY_PRELUDE = """\
+import sys
+sys.path.insert(0, {src!r})
+from repro.workloads import load_suite as _ds_load_suite
+workload = _ds_load_suite(["lammps"])[0]
+del _ds_load_suite
+"""
+
+
+def check_python(snippet: Snippet) -> Iterator[str]:
+    where = f"{os.path.relpath(snippet.path, REPO)}:{snippet.line}"
+    try:
+        compile(snippet.text, where, "exec")
+    except SyntaxError as exc:
+        yield f"{where}: python snippet does not compile: {exc}"
+        return
+    if snippet.skipped:
+        return
+    src = os.path.join(REPO, "src")
+    prelude = _PY_PRELUDE.format(src=src)
+    with tempfile.TemporaryDirectory() as scratch:
+        env = dict(os.environ, REPRO_CACHE="0")
+        proc = subprocess.run(
+            [sys.executable, "-c", prelude + snippet.text],
+            cwd=scratch, env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+    if proc.returncode != 0:
+        tail = proc.stderr.strip().splitlines()[-1] if proc.stderr else "?"
+        yield f"{where}: python snippet failed when executed: {tail}"
+
+
+def _cli_subcommands() -> set:
+    """Parse the subcommand names out of ``python -m repro --help``."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        cwd=REPO, capture_output=True, text=True,
+        env=dict(os.environ, PYTHONPATH=os.path.join(REPO, "src")),
+    )
+    match = re.search(r"\{([a-z,]+)\}", proc.stdout)
+    return set(match.group(1).split(",")) if match else set()
+
+
+def check_bash(snippet: Snippet, subcommands: set) -> Iterator[str]:
+    where = f"{os.path.relpath(snippet.path, REPO)}:{snippet.line}"
+    for raw in snippet.text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("$ "):
+            line = line[2:]
+        line = line.split(" #", 1)[0]  # inline comments
+        # drop leading VAR=value environment assignments
+        words = line.split()
+        while words and re.fullmatch(r"[A-Z_]+=\S*", words[0]):
+            words.pop(0)
+        if not words:
+            continue
+        cmd = words[0]
+        if cmd in ("pip", "cd", "export"):
+            continue
+        if cmd == "python" and words[1:3] == ["-m", "repro"]:
+            value_flags = {"--jobs", "--cache-dir"}  # global options w/ args
+            sub = None
+            for prev, word in zip(words[2:], words[3:]):
+                if not word.startswith("-") and prev not in value_flags:
+                    sub = word
+                    break
+            if sub is not None and sub not in subcommands:
+                yield (f"{where}: `python -m repro {sub}` — no such "
+                       f"subcommand (have: {sorted(subcommands)})")
+            continue
+        if cmd in ("python", "pytest"):
+            for arg in words[1:]:
+                if arg.startswith("-") or "=" in arg:
+                    continue
+                if "/" in arg or arg.endswith((".py", ".json", ".md")):
+                    if not os.path.exists(os.path.join(REPO, arg)):
+                        yield f"{where}: references missing path {arg}"
+
+
+def main() -> int:
+    findings: List[str] = []
+    checked = [0, 0, 0]  # files, python snippets, bash snippets
+    subcommands = _cli_subcommands()
+    if not subcommands:
+        findings.append("could not determine CLI subcommands from --help")
+    for path in doc_files():
+        findings.extend(check_links(path))
+        checked[0] += 1
+        for snippet in snippets(path):
+            if snippet.lang == "python":
+                checked[1] += 1
+                findings.extend(check_python(snippet))
+            elif snippet.lang == "bash":
+                checked[2] += 1
+                findings.extend(check_bash(snippet, subcommands))
+    for finding in findings:
+        print(f"FAIL {finding}")
+    print(
+        f"check_docs: {checked[0]} files, {checked[1]} python snippets "
+        f"executed, {checked[2]} bash snippets validated — "
+        f"{len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
