@@ -21,6 +21,12 @@ Commands
     and export pipeline/decision artifacts: a Konata log, a Chrome
     trace-event JSON (Perfetto), the ACB decision log, and a per-branch
     timeline (see docs/observability.md).
+``bench [--quick] [--compare BASELINE.json] [--profile]``
+    Time the simulator itself on a pinned target matrix (the Figure 6
+    smoke set, a per-scheme sweep, per-stage microbenchmarks) and emit a
+    schema-versioned ``BENCH_<tag>.json``; ``--compare`` prints speedups
+    against an earlier report and exits nonzero past the regression
+    threshold (see docs/performance.md).
 
 Global options
 --------------
@@ -246,6 +252,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import compare_reports, format_compare, run_bench, validate_report
+
+    baseline = None
+    if args.compare:
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_report(baseline)
+        if problems:
+            print(f"baseline {args.compare} is not a valid bench report:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 2
+
+    report = run_bench(
+        quick=args.quick,
+        tag=args.tag,
+        groups=args.groups,
+        profile=args.profile,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+
+    out_path = args.out or f"BENCH_{args.tag}.json"
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    total_wall = sum(r["wall_s"] for r in report["runs"])
+    print(f"{out_path}: {len(report['runs'])} runs, {total_wall:.1f}s total "
+          f"({'quick' if args.quick else 'full'} matrix)")
+    if report["profile"] is not None:
+        top = report["profile"]["functions"][:8]
+        print("hottest simulator functions (tottime):")
+        for row in top:
+            print(f"  {row['tottime_s']:8.3f}s  {row['calls']:>10d}  "
+                  f"{row['function']}")
+
+    if baseline is None:
+        return 0
+    result = compare_reports(baseline, report)
+    print(format_compare(result, baseline_tag=baseline.get("tag", "baseline")))
+    if not result.rows:
+        print("no comparable runs between the two reports", file=sys.stderr)
+        return 2
+    if result.regressed(args.threshold):
+        print(
+            f"REGRESSION: overall {result.overall:.2f}x is past the "
+            f"1/{args.threshold:.2f} threshold", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _report_manifests() -> None:
     manifests = session_manifests()
     if manifests:
@@ -334,6 +397,26 @@ def main(argv=None) -> int:
     p_trc.add_argument("--acb-capacity", type=int, default=1 << 14,
                        help="ACB event ring-buffer capacity")
     p_trc.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the simulator on the pinned target matrix"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI-sized matrix: fewer workloads, small windows")
+    p_bench.add_argument("--tag", default="local",
+                         help="report label; default output is BENCH_<tag>.json")
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="report path (default: BENCH_<tag>.json)")
+    p_bench.add_argument("--groups", nargs="*", metavar="GROUP",
+                         help="subset of target groups (fig6, scheme, micro)")
+    p_bench.add_argument("--compare", default=None, metavar="BASELINE",
+                         help="earlier BENCH_*.json to compare against")
+    p_bench.add_argument("--threshold", type=float, default=1.5,
+                         help="--compare fails past this overall slowdown "
+                              "factor (default 1.5)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="attach a cProfile per-function breakdown")
+    p_bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     if args.jobs is not None:

@@ -18,6 +18,7 @@ from repro.acb.config import AcbConfig, REDUCED_DEFAULT
 from repro.acb.critical_table import CriticalTable
 from repro.acb.dynamo import Dynamo
 from repro.acb.learning import ConvergenceResult, LearningTable
+from repro.acb.learning import IDLE as LEARNING_IDLE
 from repro.acb.storage import storage_report
 from repro.acb.tracking import TrackingTable
 from repro.branch.base import Prediction
@@ -144,10 +145,14 @@ class AcbScheme(PredicationScheme):
     # Learning feeds
     # ==================================================================
     def observe_fetch(self, dyn: DynInst) -> None:
-        if self.learning.busy:
-            self.learning.observe(dyn)
-        if self.tracking.busy:
-            self.tracking.observe(dyn)
+        # called once per fetched micro-op: test the state attributes
+        # directly instead of going through the ``busy`` properties.
+        learning = self.learning
+        if learning.phase != LEARNING_IDLE:
+            learning.observe(dyn)
+        tracking = self.tracking
+        if tracking.active:
+            tracking.observe(dyn)
 
     def on_branch_resolved(self, dyn: DynInst, mispredicted: bool, predicated: bool) -> None:
         if predicated:
@@ -257,7 +262,7 @@ class AcbScheme(PredicationScheme):
     def on_retire(self, dyn: DynInst) -> None:
         if self.monitor is not None and self.monitor is not self.dynamo:
             # stall-count throttle: charge predicated-body issue-queue waits
-            if dyn.acb_id >= 0 and dyn.acb_role not in (ROLE_SELECT,) and not dyn.instr.is_cond_branch:
+            if dyn.acb_id >= 0 and dyn.acb_role != ROLE_SELECT and not dyn.instr.is_cond_branch:
                 branch_pc = self._branch_pc_by_seq.get(dyn.acb_id)
                 if branch_pc is not None and dyn.issue_cycle > dyn.alloc_cycle:
                     self.monitor.note_body_stall(

@@ -1,0 +1,41 @@
+"""Performance benchmarking and regression tracking (``python -m repro bench``).
+
+The simulator's own speed is a first-class artifact of this repository: the
+paper's evaluation needs thousands of simulated windows, so every hot-loop
+change must be *measurable* and *regression-proof*.  This package times
+pinned simulation targets and emits a schema-versioned JSON report
+(``BENCH_<tag>.json``) that later runs compare against.
+
+Layout
+------
+* :mod:`repro.bench.targets` — the pinned target matrix: the Figure 6 smoke
+  set (representative workloads × baseline/ACB), a per-scheme throughput
+  sweep, and per-pipeline-stage microbenchmarks.
+* :mod:`repro.bench.micro` — the synthetic stage-stressor kernels behind
+  the ``micro:*`` targets.
+* :mod:`repro.bench.runner` — timed execution (:func:`run_bench`) and the
+  opt-in cProfile per-stage breakdown.
+* :mod:`repro.bench.schema` — the report schema (:data:`SCHEMA_VERSION`)
+  and :func:`validate_report`.
+* :mod:`repro.bench.compare` — baseline comparison (:func:`compare_reports`)
+  with per-group geomean speedups and a regression threshold.
+
+See ``docs/performance.md`` for the workflow and the recorded optimization
+history.
+"""
+
+from repro.bench.compare import CompareResult, compare_reports, format_compare
+from repro.bench.runner import run_bench
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+from repro.bench.targets import BenchTarget, bench_targets
+
+__all__ = [
+    "BenchTarget",
+    "CompareResult",
+    "SCHEMA_VERSION",
+    "bench_targets",
+    "compare_reports",
+    "format_compare",
+    "run_bench",
+    "validate_report",
+]

@@ -1,0 +1,96 @@
+"""Per-pipeline-stage microbenchmark kernels.
+
+Each factory builds a small closed-loop workload that concentrates dynamic
+work in one pipeline stage, so a ``--compare`` delta localizes a slowdown
+before reaching for cProfile: a regression confined to ``micro:fetch-branchy``
+points at fetch/prediction, one in ``micro:issue-chain`` at the
+scheduler/wakeup path, and so on.
+
+The kernels are deliberately tiny and deterministic — they are *timing*
+probes for the simulator itself, not paper workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.program import ProgramBuilder
+from repro.workloads import Bernoulli, Periodic, Workload
+
+
+def fetch_branchy() -> Workload:
+    """Dense, highly predictable branches: stresses fetch, the branch
+    predictor lookup path, and BTB redirects."""
+    b = ProgramBuilder("bench-fetch-branchy")
+    b.label("top")
+    for i in range(8):
+        b.alu(dst=1 + i % 4, srcs=(1 + i % 4,))
+        b.compare(srcs=(1 + i % 4,))
+        b.cond_branch(f"skip{i}", behavior=f"pat{i}")
+        b.alu(dst=5, srcs=(5,))
+        b.label(f"skip{i}")
+    b.jump("top")
+    behaviors = {
+        f"pat{i}": Periodic(f"pat{i}", (True, False, False, False))
+        for i in range(8)
+    }
+    return Workload("bench-fetch-branchy", "bench", b.build(), behaviors, seed=11)
+
+
+def issue_chain() -> Workload:
+    """Long dependence chains plus independent filler: stresses allocate,
+    the ready heap, wakeup, and completion."""
+    b = ProgramBuilder("bench-issue-chain")
+    b.label("top")
+    for _ in range(4):
+        b.alu(dst=1, srcs=(1,))
+        b.mul(dst=2, srcs=(1, 2))
+        b.alu(dst=3, srcs=(2,))
+        for i in range(6):
+            reg = 8 + i % 4
+            b.alu(dst=reg, srcs=(reg,))
+    b.jump("top")
+    return Workload("bench-issue-chain", "bench", b.build(), {}, seed=13)
+
+
+def memory_stream() -> Workload:
+    """Load/store streams: stresses the LSQ (disambiguation, forwarding),
+    address generation, and the cache hierarchy walk."""
+    b = ProgramBuilder("bench-memory-stream")
+    b.label("top")
+    for i in range(4):
+        b.load(dst=1 + i, srcs=(1 + i,))
+        b.alu(dst=5, srcs=(1 + i, 5))
+        b.store(srcs=(5,))
+    b.jump("top")
+    return Workload("bench-memory-stream", "bench", b.build(), {}, seed=17)
+
+
+def predication_hammock() -> Workload:
+    """A hard-to-predict IF-hammock: under the ACB configuration this
+    stresses region open/close, body bookkeeping, and transparency rewiring."""
+    b = ProgramBuilder("bench-predication-hammock")
+    b.label("top")
+    b.alu(dst=1, srcs=(1,))
+    b.compare(srcs=(1,))
+    b.cond_branch("skip", behavior="h2p")
+    for i in range(3):
+        b.alu(dst=2, srcs=(2 if i else 1,))
+    b.label("skip")
+    b.alu(dst=3, srcs=(2,))
+    b.alu(dst=4, srcs=(4,))
+    b.alu(dst=5, srcs=(5,))
+    b.jump("top")
+    return Workload(
+        "bench-predication-hammock", "bench", b.build(),
+        {"h2p": Bernoulli("h2p", 0.4)}, seed=7,
+    )
+
+
+#: name → factory for every ``micro:*`` bench target.
+MICRO_WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    "fetch-branchy": fetch_branchy,
+    "issue-chain": issue_chain,
+    "memory-stream": memory_stream,
+    "predication-hammock": predication_hammock,
+}

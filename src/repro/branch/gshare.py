@@ -21,7 +21,9 @@ class GSharePredictor(Predictor):
         self.hist = GlobalHistory(hist_len)
 
     def _index(self, pc: int) -> int:
-        return (pc ^ self.hist.recent(self.hist.length)) & (self.size - 1)
+        # hist.bits is already masked to the history length, so this is
+        # exactly hist.recent(hist.length) without the shift-and-mask call.
+        return (pc ^ self.hist.bits) & (self.size - 1)
 
     def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
         i = self._index(pc)

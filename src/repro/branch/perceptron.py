@@ -35,6 +35,13 @@ class PerceptronPredictor(Predictor):
         self.weights: List[List[int]] = [
             [0] * (history + 1) for _ in range(entries)
         ]
+        # per-entry sum of the non-bias weights, maintained by update():
+        # with T = sum(w[1:]) and S = sum of weights at set history bits,
+        # the dot product is w[0] + S - (T - S) = w[0] - T + 2*S, so the
+        # prediction loop only touches the *set* bits of the history
+        # instead of all `history` positions.  Exact integer algebra — the
+        # output is bit-identical to the full loop.
+        self._totals: List[int] = [0] * entries
         self.hist = GlobalHistory(history)
         # the published training threshold
         self.theta = int(1.93 * history + 14)
@@ -43,14 +50,14 @@ class PerceptronPredictor(Predictor):
         return (pc ^ (pc >> 9)) & (self.entries - 1)
 
     def _output(self, pc: int) -> int:
-        w = self.weights[self._index(pc)]
+        idx = self._index(pc)
+        w = self.weights[idx]
         bits = self.hist.bits
-        y = w[0]
-        for i in range(1, self.history + 1):
-            if (bits >> (i - 1)) & 1:
-                y += w[i]
-            else:
-                y -= w[i]
+        y = w[0] - self._totals[idx]
+        while bits:
+            low = bits & (bits - 1)          # clear lowest set bit
+            y += 2 * w[(bits ^ low).bit_length()]  # bit k pairs with w[k+1]
+            bits = low
         return y
 
     def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
@@ -75,12 +82,14 @@ class PerceptronPredictor(Predictor):
         y, hist_bits = meta
         if not mispredicted and abs(y) > self.theta:
             return
-        w = self.weights[self._index(pc)]
+        idx = self._index(pc)
+        w = self.weights[idx]
         t = 1 if taken else -1
         w[0] = max(self.wmin, min(self.wmax, w[0] + t))
         for i in range(1, self.history + 1):
             x = 1 if (hist_bits >> (i - 1)) & 1 else -1
             w[i] = max(self.wmin, min(self.wmax, w[i] + t * x))
+        self._totals[idx] = sum(w) - w[0]
 
     def storage_bits(self) -> int:
         return self.entries * (self.history + 1) * 8 + self.history

@@ -51,16 +51,18 @@ class _TaggedTable:
         self.size = 1 << size_log2
         self.size_log2 = size_log2
         self.tag_bits = tag_bits
+        self.tag_mask = (1 << tag_bits) - 1
         self.hist_len = hist_len
+        self.hist_mask = (1 << hist_len) - 1
         self.entries: List[Optional[_TaggedEntry]] = [None] * self.size
 
     def index(self, pc: int, hist: int) -> int:
-        h = _fold(hist & ((1 << self.hist_len) - 1), self.size_log2)
+        h = _fold(hist & self.hist_mask, self.size_log2)
         return (pc ^ (pc >> self.size_log2) ^ h) & (self.size - 1)
 
     def tag(self, pc: int, hist: int) -> int:
-        h = _fold(hist & ((1 << self.hist_len) - 1), self.tag_bits)
-        return (pc ^ (pc >> 3) ^ (h << 1)) & ((1 << self.tag_bits) - 1)
+        h = _fold(hist & self.hist_mask, self.tag_bits)
+        return (pc ^ (pc >> 3) ^ (h << 1)) & self.tag_mask
 
     def storage_bits(self) -> int:
         return self.size * (self.tag_bits + 3 + 2)
@@ -87,6 +89,29 @@ class TagePredictor(Predictor):
         self.hist = GlobalHistory(max(self.HIST_LENGTHS) + 8)
         self.use_alt_on_weak = 8  # 4-bit counter, midpoint 8
         self._rng = seed & _MASK64 or 1
+        # Folded histories maintained incrementally, the way hardware TAGE
+        # keeps folded-history shift registers: pushing one outcome rotates
+        # each fold and XORs in the inserted and evicted history bits,
+        # which is algebraically identical to re-folding the whole masked
+        # history (``_fold``) but O(1) per table instead of O(hist_len).
+        # Every mutation of ``self.hist`` goes through :meth:`spec_push` or
+        # :meth:`restore` below, which keep these registers in sync.
+        self._fidx: List[int] = [0] * len(self.tables)
+        self._ftag: List[int] = [0] * len(self.tables)
+        # flat per-table constants for the push loop: (evict_shift,
+        # idx_width, idx_mask, idx_out_pos, tag_width, tag_mask, tag_out_pos)
+        self._push_params = tuple(
+            (
+                t.hist_len - 1,
+                t.size_log2,
+                t.size - 1,
+                t.hist_len % t.size_log2,
+                t.tag_bits,
+                t.tag_mask,
+                t.hist_len % t.tag_bits,
+            )
+            for t in self.tables
+        )
 
     # ------------------------------------------------------------------
     def _rand(self, n: int) -> int:
@@ -99,13 +124,14 @@ class TagePredictor(Predictor):
 
     # ------------------------------------------------------------------
     def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
-        hist = self.hist.bits
+        fidx = self._fidx
+        ftag = self._ftag
         indices: List[int] = []
         tags: List[int] = []
         hits: List[int] = []  # table numbers with a tag match, shortest first
         for t, table in enumerate(self.tables):
-            idx = table.index(pc, hist)
-            tg = table.tag(pc, hist)
+            idx = (pc ^ (pc >> table.size_log2) ^ fidx[t]) & (table.size - 1)
+            tg = (pc ^ (pc >> 3) ^ (ftag[t] << 1)) & table.tag_mask
             indices.append(idx)
             tags.append(tg)
             entry = table.entries[idx]
@@ -140,15 +166,35 @@ class TagePredictor(Predictor):
 
     # ------------------------------------------------------------------
     def spec_push(self, pc: int, taken: bool) -> None:
+        old = self.hist.bits
         self.hist.push(taken)
+        b = 1 if taken else 0
+        fidx = self._fidx
+        ftag = self._ftag
+        t = 0
+        for ev_sh, iw, imask, ipos, tw, tmask, tpos in self._push_params:
+            evicted = (old >> ev_sh) & 1
+            g = (fidx[t] << 1) | b
+            fidx[t] = ((g ^ (g >> iw)) & imask) ^ (evicted << ipos)
+            g = (ftag[t] << 1) | b
+            ftag[t] = ((g ^ (g >> tw)) & tmask) ^ (evicted << tpos)
+            t += 1
+
+    def _recompute_folds(self) -> None:
+        bits = self.hist.bits
+        for t, table in enumerate(self.tables):
+            masked = bits & table.hist_mask
+            self._fidx[t] = _fold(masked, table.size_log2)
+            self._ftag[t] = _fold(masked, table.tag_bits)
 
     def checkpoint(self) -> int:
         return self.hist.checkpoint()
 
     def restore(self, cp: int, pc: int, actual) -> None:
         self.hist.restore(cp)
+        self._recompute_folds()
         if actual is not None:
-            self.hist.push(actual)
+            self.spec_push(pc, actual)
 
     # ------------------------------------------------------------------
     def update(self, pc: int, taken: bool, meta, mispredicted: bool) -> None:

@@ -1,4 +1,28 @@
-"""The out-of-order core: configuration, statistics, and the cycle engine."""
+"""The out-of-order core: configuration, statistics, and the cycle engine.
+
+Public API map (paper section → class):
+
+* Table II core parameters — :class:`CoreConfig` (:data:`SKYLAKE_LIKE`
+  for the paper's baseline, :func:`scaled` for the Section V-D
+  wider/deeper variants)
+* Section IV simulated machine — :class:`Core`, the cycle engine:
+  fetch/allocate/issue/complete/retire over a heap-backed completion
+  event queue, full wrong-path execution, flush recovery
+  (:class:`DeadlockError` on a wedged pipeline; hot-loop design notes
+  in docs/performance.md)
+* Sections II–III predication *mechanics* (policy-free) — the
+  :class:`PredicationScheme` interface a scheme implements, the
+  :class:`PredicationPlan` it returns per branch instance, the
+  :class:`RegionRecord` region lifecycle the engine drives (dual-path
+  fetch, Jumper override, transparency, divergence), and
+  :func:`region_live_outs` for select-uop placement
+* Figure 6/Equation 1 measurement — :class:`SimStats` (IPC, flushes,
+  predication accounting; bit-identical across hosts) and the
+  per-branch :class:`BranchPCStats` behind the Figure 7 correlation.
+
+Policies plug in from outside: :class:`repro.acb.AcbScheme` and the
+baselines (`repro.baselines`) implement :class:`PredicationScheme`.
+"""
 
 from repro.core.config import CoreConfig, SKYLAKE_LIKE, scaled
 from repro.core.engine import Core, DeadlockError

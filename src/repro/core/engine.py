@@ -31,12 +31,7 @@ from repro.core.predication import (
     region_live_outs,
 )
 from repro.core.stats import SimStats
-from repro.isa import (
-    Instruction,
-    UopClass,
-    latency_of,
-    port_group_of,
-)
+from repro.isa import Instruction, UopClass
 from repro.isa.dyninst import (
     DynInst,
     ROLE_BODY,
@@ -75,6 +70,7 @@ class Core:
         config.validate()
         self.workload = workload
         self.program = workload.program
+        self._instrs = workload.program.instructions  # direct tuple for fetch
         self.config = config
         self.func = FunctionalExecutor(workload, seed_offset)
         self.bp = make_predictor(predictor or config.predictor)
@@ -103,10 +99,14 @@ class Core:
         self.fetchq: deque = deque()
         self.rob: deque = deque()
         self.iq_count = 0
-        self.sq: List[DynInst] = []     # stores in program order
+        self.sq: deque = deque()        # stores in program order (head oldest)
         self.lq_count = 0
         self.rat: List[Optional[DynInst]] = [None] * 17
-        self._events: Dict[int, List[DynInst]] = {}
+        # completion events as one heap of (cycle, seq, dyn): draining the
+        # heap visits a cycle's events oldest-first, exactly the order the
+        # old per-cycle bucket dict produced after its seq sort, and the
+        # idle-skip reads the next event cycle in O(1) from the heap top.
+        self._eventq: List = []
         self._ready: List = []          # heap of (seq, DynInst)
         self._blocked_loads: List[DynInst] = []
         self.region: Optional[RegionRecord] = None        # open at fetch
@@ -123,28 +123,88 @@ class Core:
 
             self.checker = InvariantChecker(self)
 
+        # hot-loop constants hoisted out of the per-cycle stages.
+        # CoreConfig is frozen, so these cannot drift from self.config.
+        self._fetch_width = config.fetch_width
+        self._fetch_queue = config.fetch_queue
+        self._alloc_width = config.alloc_width
+        self._retire_width = config.retire_width
+        self._rob_size = config.rob_size
+        self._iq_size = config.iq_size
+        self._lq_size = config.lq_size
+        self._sq_size = config.sq_size
+        self._ports_items = tuple(config.ports.items())
+        self._issue_budget = sum(config.ports.values())
+
     # ==================================================================
     # Public driver
     # ==================================================================
     def run(self, max_instructions: int, max_cycles: Optional[int] = None) -> SimStats:
         """Simulate until *max_instructions* architectural retirements
-        (within the current measurement window)."""
+        (within the current measurement window).
+
+        The loop body is an inlined :meth:`step` with a per-stage guard in
+        front of each stage call, so a stage that provably has no work this
+        cycle costs one queue test instead of a method call.  Each guard
+        replicates the stage's own early-exit bookkeeping (``_retire``
+        counts empty-ROB cycles), keeping ``run`` and an external
+        ``step()`` loop bit-identical in SimStats.
+        """
         budget = max_cycles if max_cycles is not None else max_instructions * 80 + 200_000
         cap = self.cycle + budget
+        stats = self.stats
         fast_forward = self.config.fast_forward
-        while self.stats.instructions < max_instructions:
-            if self.cycle >= cap:
+        checker = self.checker
+        rob = self.rob
+        ready = self._ready
+        eventq = self._eventq
+        fetchq = self.fetchq
+        retire = self._retire
+        complete = self._complete
+        issue = self._issue
+        allocate = self._allocate
+        fetch = self._fetch
+        while stats.instructions < max_instructions:
+            cycle = self.cycle
+            if cycle >= cap:
                 raise DeadlockError(
-                    f"cycle cap hit at {self.cycle} "
-                    f"({self.stats.instructions}/{max_instructions} instructions)"
+                    f"cycle cap hit at {cycle} "
+                    f"({stats.instructions}/{max_instructions} instructions)"
                 )
-            self.step()
-            if fast_forward:
+            if rob:
+                if rob[0].state == ST_DONE:
+                    retire()
+            else:
+                stats.empty_rob_cycles += 1
+            if eventq and eventq[0][0] <= cycle:
+                complete()
+            if ready:
+                issue()
+            if fetchq:
+                allocate()
+            if self.fetch_halted or cycle < self.fetch_resume_cycle:
+                # _fetch's stall path, sans call: count the stall; the
+                # region-timeout tick only matters with an open region.
+                if self.region is None:
+                    stats.fetch_stall_cycles += 1
+                else:
+                    fetch()
+            else:
+                fetch()
+            if checker is not None:
+                checker.on_cycle()
+            self.cycle = cycle + 1
+            # cheap preconditions of _maybe_fast_forward, checked inline:
+            # anything ready to issue (even a stale entry the full check
+            # would lazily drop) or no pending event means no skip.  The
+            # skip is stats-neutral by construction, so guarding it more
+            # coarsely than the full check cannot change any counter.
+            if fast_forward and eventq and not ready:
                 self._maybe_fast_forward()
             if self.cycle - self._last_retire_cycle > 20_000:
                 raise DeadlockError(self._deadlock_report())
-        self.stats.cycles = self.cycle - self._cycle_offset
-        return self.stats
+        stats.cycles = self.cycle - self._cycle_offset
+        return stats
 
     def _maybe_fast_forward(self) -> None:
         """Jump over cycles in which no pipeline stage can act.
@@ -166,7 +226,7 @@ class Core:
             or self.region is not None
             or not self.rob
             or self.rob[0].state == ST_DONE
-            or not self._events
+            or not self._eventq
         ):
             return
         fetch_blocked = self.fetch_halted or self.cycle < self.fetch_resume_cycle
@@ -190,7 +250,7 @@ class Core:
                 return
             emulate_alloc_stall = False
 
-        skip_to = min(self._events)
+        skip_to = self._eventq[0][0]
         if not self.fetch_halted and self.fetch_resume_cycle > self.cycle:
             skip_to = min(skip_to, self.fetch_resume_cycle)
         skipped = skip_to - self.cycle
@@ -254,19 +314,33 @@ class Core:
     # Retire
     # ==================================================================
     def _retire(self) -> None:
-        budget = self.config.retire_width
+        """In-order retirement from the ROB head.
+
+        SQ invariant: stores enter ``self.sq`` at rename in sequence order
+        and retire in sequence order, and a flush only drops stores from
+        the *tail* (younger than the flushing branch).  A store that
+        reaches retirement still holding an SQ slot (``lsq_index >= 0``)
+        is therefore always the SQ head — see :meth:`_sq_remove`.
+        """
         rob = self.rob
+        stats = self.stats
         if not rob:
-            self.stats.empty_rob_cycles += 1
+            stats.empty_rob_cycles += 1
             return
+        width = self._retire_width
+        budget = width
+        cycle = self.cycle
+        checker = self.checker
+        scheme = self.scheme
+        retire_log = self.retire_log
+        arch_trace = self.arch_trace
         while budget and rob and rob[0].state == ST_DONE:
             dyn = rob.popleft()
-            if self.checker is not None:
-                self.checker.on_retire(dyn)
+            if checker is not None:
+                checker.on_retire(dyn)
             dyn.state = ST_RETIRED
-            dyn.retire_cycle = self.cycle
-            self._last_retire_cycle = self.cycle
-            self.stats.retired_uops += 1
+            dyn.retire_cycle = cycle
+            stats.retired_uops += 1
             instr = dyn.instr
             if instr.is_store:
                 if dyn.lsq_index >= 0:
@@ -276,12 +350,12 @@ class Core:
             elif instr.is_load:
                 self.lq_count -= 1
             if not dyn.pred_false and dyn.acb_role != ROLE_SELECT:
-                self.stats.instructions += 1
+                stats.instructions += 1
                 if (
-                    self.arch_trace is not None
-                    and len(self.arch_trace) < self._arch_trace_cap
+                    arch_trace is not None
+                    and len(arch_trace) < self._arch_trace_cap
                 ):
-                    self.arch_trace.append(
+                    arch_trace.append(
                         RetireEvent(
                             pc=dyn.pc,
                             dst=instr.dst,
@@ -290,15 +364,29 @@ class Core:
                             store=instr.is_store,
                         )
                     )
-            if self.retire_log is not None and len(self.retire_log) < self._retire_log_cap:
-                self.retire_log.append(dyn)
-            if self.scheme is not None:
-                self.scheme.on_retire(dyn)
+            if retire_log is not None and len(retire_log) < self._retire_log_cap:
+                retire_log.append(dyn)
+            if scheme is not None:
+                scheme.on_retire(dyn)
             budget -= 1
+        if budget != width:
+            self._last_retire_cycle = cycle
 
     def _sq_remove(self, dyn: DynInst) -> None:
+        """Drop a retiring store from the store queue.
+
+        By the SQ invariant documented on :meth:`_retire`, the retiring
+        store is always the queue head, so this is an O(1) popleft.  The
+        linear fallback is purely defensive — the ordering that could make
+        it run would already trip the
+        :class:`~repro.validate.checker.InvariantChecker`.
+        """
+        sq = self.sq
+        if sq and sq[0] is dyn:
+            sq.popleft()
+            return
         try:
-            self.sq.remove(dyn)
+            sq.remove(dyn)
         except ValueError:  # already dropped during a flush
             pass
 
@@ -306,32 +394,40 @@ class Core:
     # Complete / wakeup / branch resolution
     # ==================================================================
     def _complete(self) -> None:
-        done = self._events.pop(self.cycle, None)
-        if not done:
+        eventq = self._eventq
+        cycle = self.cycle
+        if not eventq or eventq[0][0] > cycle:
             return
-        # process oldest first so an older flush squashes younger same-cycle
-        # resolutions before they act.
-        done.sort(key=lambda d: d.seq)
-        for dyn in done:
+        # the heap drains in (cycle, seq) order — oldest first, so an older
+        # flush squashes younger same-cycle resolutions before they act.
+        pop = heapq.heappop
+        while eventq and eventq[0][0] <= cycle:
+            dyn = pop(eventq)[2]
             if dyn.state == ST_SQUASHED:
                 continue
             dyn.state = ST_DONE
-            dyn.done_cycle = self.cycle
-            if dyn.instr.is_cond_branch and not dyn.wrong_path and dyn.taken is not None:
+            dyn.done_cycle = cycle
+            instr = dyn.instr
+            if instr.is_cond_branch and not dyn.wrong_path and dyn.taken is not None:
                 self._resolve_branch(dyn)
             self._wake_consumers(dyn)
-            if dyn.instr.is_store and self._blocked_loads:
+            if instr.is_store and self._blocked_loads:
                 self._release_blocked_loads()
 
     def _wake_consumers(self, producer: DynInst) -> None:
-        for c in producer.consumers:
+        consumers = producer.consumers
+        if not consumers:
+            return
+        ready = self._ready
+        push = heapq.heappush
+        for c in consumers:
             if c.state != ST_ALLOCATED:
                 continue
             if c.rewired and producer is not c.prev_writer:
                 continue
             c.deps -= 1
             if c.deps == 0 and not c.hold:
-                heapq.heappush(self._ready, (c.seq, c))
+                push(ready, (c.seq, c))
 
     def _release_blocked_loads(self) -> None:
         loads = self._blocked_loads
@@ -409,7 +505,7 @@ class Core:
             if b.instr.writes_register:
                 b.rewired = True
                 prev = b.prev_writer
-                if prev is not None and prev.state < ST_DONE and not prev.squashed:
+                if prev is not None and prev.state < ST_DONE:
                     b.deps = 1
                     prev.consumers.append(b)
                 else:
@@ -516,42 +612,62 @@ class Core:
     # Issue
     # ==================================================================
     def _issue(self) -> None:
-        ports = dict(self.config.ports)
-        stash: List = []
         ready = self._ready
-        budget = sum(ports.values())
+        if not ready:
+            return
+        ports = dict(self._ports_items)
+        budget = self._issue_budget
+        stash: List = []
+        pop = heapq.heappop
+        push = heapq.heappush
+        eventq = self._eventq
+        cycle = self.cycle
         while ready and budget > 0:
-            seq, dyn = heapq.heappop(ready)
+            seq, dyn = pop(ready)
             if dyn.state != ST_ALLOCATED or dyn.hold:
                 continue
-            group = port_group_of(dyn.instr.uop)
+            instr = dyn.instr
+            group = instr.port_group
             if ports.get(group, 0) <= 0:
                 stash.append((seq, dyn))
                 continue
-            if dyn.instr.is_load and not dyn.pred_false and self._load_blocked(dyn):
+            if instr.is_load and not dyn.pred_false and self._load_blocked(dyn):
                 self._blocked_loads.append(dyn)
                 continue
             ports[group] -= 1
             budget -= 1
-            self._dispatch(dyn)
+            # _dispatch, inlined for the hot path; non-memory ops take the
+            # precomputed class latency without the _latency_of call.
+            dyn.state = ST_ISSUED
+            dyn.issue_cycle = cycle
+            self.iq_count -= 1
+            if dyn.transparent or dyn.pred_false:
+                latency = 1
+            elif not instr.is_mem:
+                latency = instr.latency
+            else:
+                latency = self._latency_of(dyn)
+            push(eventq, (cycle + latency, seq, dyn))
         for item in stash:
-            heapq.heappush(ready, item)
+            push(ready, item)
 
     def _load_blocked(self, load: DynInst) -> bool:
         """Conservative disambiguation: wait for older store addresses."""
+        seq = load.seq
         for store in self.sq:
-            if store.seq >= load.seq:
+            if store.seq >= seq:
                 break
             if store.state < ST_DONE and not store.pred_false:
                 return True
         return False
 
     def _dispatch(self, dyn: DynInst) -> None:
+        cycle = self.cycle
         dyn.state = ST_ISSUED
-        dyn.issue_cycle = self.cycle
+        dyn.issue_cycle = cycle
         self.iq_count -= 1
         latency = self._latency_of(dyn)
-        self._events.setdefault(self.cycle + latency, []).append(dyn)
+        heapq.heappush(self._eventq, (cycle + latency, dyn.seq, dyn))
 
     def _latency_of(self, dyn: DynInst) -> int:
         if dyn.transparent or dyn.pred_false:
@@ -569,13 +685,14 @@ class Core:
             return latency
         if instr.is_store:
             self.stats.stores += 1
-        return latency_of(instr.uop)
+        return instr.latency
 
     def _forwarding_store(self, load: DynInst) -> Optional[DynInst]:
         line = load.mem_addr >> 6
+        seq = load.seq
         best = None
         for store in self.sq:
-            if store.seq >= load.seq:
+            if store.seq >= seq:
                 break
             if (
                 store.state >= ST_DONE
@@ -590,89 +707,109 @@ class Core:
     # Allocate (rename + resource assignment)
     # ==================================================================
     def _allocate(self) -> None:
-        budget = self.config.alloc_width
-        cfg = self.config
+        """Allocate (rename + resource assignment) from the fetch queue.
+
+        Rename is inlined into the allocation loop — the two ran as one
+        call pair per micro-op, and splitting them bought nothing but call
+        overhead at simulation scale.
+
+        ``state < ST_DONE`` alone identifies an in-flight producer:
+        ST_SQUASHED (5) compares above ST_DONE, and the RAT never maps a
+        squashed producer in the first place (a checker invariant), so no
+        separate ``squashed`` test is needed.
+        """
+        fetchq = self.fetchq
+        if not fetchq:
+            return
+        budget = self._alloc_width
+        rob = self.rob
+        rob_size = self._rob_size
+        iq_size = self._iq_size
+        sq = self.sq
+        stats = self.stats
+        rat = self.rat  # only _flush (never reached from here) reassigns it
+        ready = self._ready
+        push = heapq.heappush
+        cycle = self.cycle
         stalled = False
-        while budget and self.fetchq:
-            dyn = self.fetchq[0]
+        while budget and fetchq:
+            dyn = fetchq[0]
             instr = dyn.instr
-            if len(self.rob) >= cfg.rob_size or self.iq_count >= cfg.iq_size:
+            if len(rob) >= rob_size or self.iq_count >= iq_size:
                 stalled = True
                 break
-            if instr.is_load and self.lq_count >= cfg.lq_size:
+            if instr.is_load:
+                if self.lq_count >= self._lq_size:
+                    stalled = True
+                    break
+            elif instr.is_store and len(sq) >= self._sq_size:
                 stalled = True
                 break
-            if instr.is_store and len(self.sq) >= cfg.sq_size:
-                stalled = True
-                break
-            self.fetchq.popleft()
-            self._rename(dyn)
+            fetchq.popleft()
             budget -= 1
-        if stalled:
-            self.stats.alloc_stall_cycles += 1
 
-    def _rename(self, dyn: DynInst) -> None:
-        instr = dyn.instr
-        dyn.state = ST_ALLOCATED
-        dyn.alloc_cycle = self.cycle
-        self.rob.append(dyn)
-        self.iq_count += 1
-        self.stats.allocated += 1
-        if dyn.wrong_path:
-            self.stats.wrong_path_allocated += 1
+            # ---- rename ----
+            dyn.state = ST_ALLOCATED
+            dyn.alloc_cycle = cycle
+            rob.append(dyn)
+            self.iq_count += 1
+            stats.allocated += 1
+            if dyn.wrong_path:
+                stats.wrong_path_allocated += 1
 
-        rat = self.rat
-        deps = 0
-        if dyn.pred_false and instr.writes_register:
-            # transparency decided before allocation: depend only on the
-            # previous value of the destination (plus the already-resolved
-            # branch), not on the original sources.
-            dyn.rewired = True
-            prev = rat[instr.dst]
-            dyn.prev_writer = prev
-            if prev is not None and prev.state < ST_DONE and not prev.squashed:
-                deps += 1
-                prev.consumers.append(dyn)
-        elif dyn.pred_false:
-            dyn.rewired = True
-        else:
-            for src in instr.srcs:
-                prod = rat[src]
-                if prod is not None and prod.state < ST_DONE and not prod.squashed:
-                    deps += 1
-                    prod.consumers.append(dyn)
-            if dyn.forced_producers:
-                for prod in dyn.forced_producers:
-                    if prod.state < ST_DONE and not prod.squashed:
-                        deps += 1
-                        prod.consumers.append(dyn)
-            if dyn.acb_role == ROLE_SELECT:
+            deps = 0
+            if dyn.pred_false and instr.writes_register:
+                # transparency decided before allocation: depend only on
+                # the previous value of the destination (plus the already-
+                # resolved branch), not on the original sources.
+                dyn.rewired = True
                 prev = rat[instr.dst]
                 dyn.prev_writer = prev
-                if prev is not None and prev.state < ST_DONE and not prev.squashed:
+                if prev is not None and prev.state < ST_DONE:
                     deps += 1
                     prev.consumers.append(dyn)
-            elif dyn.acb_id >= 0 and instr.writes_register and dyn.acb_role in (
-                ROLE_BODY,
-                ROLE_JUMPER,
-            ):
-                dyn.prev_writer = rat[instr.dst]
+            elif dyn.pred_false:
+                dyn.rewired = True
+            else:
+                for src in instr.srcs:
+                    prod = rat[src]
+                    if prod is not None and prod.state < ST_DONE:
+                        deps += 1
+                        prod.consumers.append(dyn)
+                if dyn.forced_producers:
+                    for prod in dyn.forced_producers:
+                        if prod.state < ST_DONE:
+                            deps += 1
+                            prod.consumers.append(dyn)
+                if dyn.acb_role == ROLE_SELECT:
+                    prev = rat[instr.dst]
+                    dyn.prev_writer = prev
+                    if prev is not None and prev.state < ST_DONE:
+                        deps += 1
+                        prev.consumers.append(dyn)
+                elif dyn.acb_id >= 0 and instr.writes_register and dyn.acb_role in (
+                    ROLE_BODY,
+                    ROLE_JUMPER,
+                ):
+                    dyn.prev_writer = rat[instr.dst]
 
-        if instr.writes_register:
-            rat[instr.dst] = dyn
+            if instr.writes_register:
+                rat[instr.dst] = dyn
 
-        if instr.is_cond_branch:
-            dyn.rat_checkpoint = list(rat)
+            if instr.is_cond_branch:
+                dyn.rat_checkpoint = list(rat)
 
-        if instr.is_load:
-            self.lq_count += 1
-        elif instr.is_store:
-            dyn.lsq_index = 0
-            self.sq.append(dyn)
+            if instr.is_load:
+                self.lq_count += 1
+            elif instr.is_store:
+                dyn.lsq_index = 0
+                sq.append(dyn)
 
-        dyn.deps = deps
-        if deps == 0 and not dyn.hold:
-            heapq.heappush(self._ready, (dyn.seq, dyn))
+            dyn.deps = deps
+            if deps == 0 and not dyn.hold:
+                push(ready, (dyn.seq, dyn))
+        if stalled:
+            stats.alloc_stall_cycles += 1
 
     # ==================================================================
     # Fetch
@@ -696,12 +833,18 @@ class Core:
         return _WRONG_PATH_MEM_BASE + (h & _WRONG_PATH_MEM_MASK)
 
     def _fetch(self) -> None:
+        stats = self.stats
         if self.fetch_halted or self.cycle < self.fetch_resume_cycle:
-            self.stats.fetch_stall_cycles += 1
-            self._tick_region_timeout()
+            stats.fetch_stall_cycles += 1
+            region = self.region
+            if region is not None and self.cycle - region.opened_cycle > region.plan.max_cycles:
+                self._diverge_region(region)
             return
-        budget = self.config.fetch_width
-        while budget > 0 and len(self.fetchq) < self.config.fetch_queue:
+        budget = self._fetch_width
+        fetch_queue = self._fetch_queue
+        fetchq = self.fetchq
+        instrs = self._instrs
+        while budget > 0 and len(fetchq) < fetch_queue:
             region = self.region
             if region is not None:
                 if self._region_boundary(region):
@@ -711,17 +854,19 @@ class Core:
                 if region.fetched > region.plan.max_fetch:
                     self._diverge_region(region)
                     return
-            instr = self.program[self.fetch_pc]
-            redirected = self._fetch_one(instr)
+            redirected = self._fetch_one(instrs[self.fetch_pc])
             budget -= 1
-            self.stats.fetched += 1
+            stats.fetched += 1
             if redirected:
                 break  # one taken-branch redirect per cycle
-        if len(self.fetchq) >= self.config.fetch_queue:
-            self.stats.fetch_stall_cycles += 1
-        self._tick_region_timeout()
+        if len(fetchq) >= fetch_queue:
+            stats.fetch_stall_cycles += 1
+        region = self.region
+        if region is not None and self.cycle - region.opened_cycle > region.plan.max_cycles:
+            self._diverge_region(region)
 
     def _tick_region_timeout(self) -> None:
+        # inlined at both _fetch exits; kept for tests driving it directly
         region = self.region
         if region is not None and self.cycle - region.opened_cycle > region.plan.max_cycles:
             self._diverge_region(region)
@@ -810,10 +955,19 @@ class Core:
     # ------------------------------------------------------------------
     def _fetch_one(self, instr: Instruction) -> bool:
         """Fetch the instruction at ``self.fetch_pc``; returns True on a
-        taken redirect (ends the fetch group)."""
-        dyn = self._new_dyn(instr)
+        taken redirect (ends the fetch group).
+
+        ``_new_dyn`` and ``_functional_now`` are inlined here (they remain
+        as methods for the colder select-injection path).
+        """
+        on_correct = self.on_correct_path
+        dyn = DynInst(self._seq, instr, wrong_path=not on_correct)
+        self._seq += 1
+        dyn.fetch_cycle = self.cycle
+        if self.trace is not None:
+            self.trace.on_fetch(dyn)
         region = self.region
-        functional = self._functional_now()
+        functional = on_correct and (region is None or region.seg_is_true)
 
         if region is not None:
             dyn.acb_id = region.branch.seq
@@ -834,8 +988,7 @@ class Core:
             redirect = self._fetch_jump(dyn, functional)
         else:
             if functional:
-                result = self.func.step(dyn.pc)
-                dyn.mem_addr = result.mem_addr
+                dyn.mem_addr = self.func.step_fast(dyn.pc)[2]
             elif instr.is_mem:
                 dyn.mem_addr = self._synth_addr(dyn)
             self.fetch_pc = instr.fallthrough
@@ -849,7 +1002,7 @@ class Core:
         """Unconditional branch: always taken; may be a region Jumper."""
         instr = dyn.instr
         if functional:
-            self.func.step(dyn.pc)
+            self.func.step_fast(dyn.pc)
         dyn.taken = True
         if self._maybe_jumper(dyn, instr.target):
             return True
@@ -884,10 +1037,9 @@ class Core:
         instr = dyn.instr
         actual: Optional[bool] = None
         if functional:
-            result = self.func.step(dyn.pc)
-            actual = result.taken
+            actual, next_pc, _ = self.func.step_fast(dyn.pc)
             dyn.taken = actual
-            dyn.resume_pc = result.next_pc
+            dyn.resume_pc = next_pc
 
         prediction = self.bp.predict(dyn.pc, actual)
 

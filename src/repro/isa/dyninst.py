@@ -78,43 +78,29 @@ class DynInst:
     )
 
     def __init__(self, seq: int, instr: "Instruction", wrong_path: bool = False):
+        # one instance per fetched micro-op: defaults with a shared value
+        # are chained so each constant is loaded once (types are documented
+        # on ``__slots__`` above).
         self.seq = seq
         self.instr = instr
         self.pc = instr.pc
         self.wrong_path = wrong_path
 
-        self.pred_taken: Optional[bool] = None
-        self.taken: Optional[bool] = None
-        self.predicted = False
-        self.hist_checkpoint = None
-        self.rat_checkpoint = None
-
-        self.mem_addr: Optional[int] = None
+        self.pred_taken = self.taken = None
+        self.hist_checkpoint = self.rat_checkpoint = self.mem_addr = None
+        self.forced_producers = self.resume_pc = self.prev_writer = None
+        self.bp_meta = self.region = None
+        self.predicted = self.body_dir = self.pred_false = False
+        self.diverged = self.eager = self.hold = False
+        self.rewired = self.transparent = False
 
         self.acb_id = -1
         self.acb_role = ROLE_NONE
-        self.body_dir = False
-        self.pred_false = False
-        self.diverged = False
-        self.eager = False
-
         self.deps = 0
         self.consumers: List["DynInst"] = []
-        self.forced_producers: Optional[List["DynInst"]] = None
-        self.hold = False
-        self.resume_pc: Optional[int] = None
-        self.prev_writer: Optional["DynInst"] = None
-        self.rewired = False
-        self.transparent = False
-        self.bp_meta = None
-        self.region = None
         self.state = ST_FETCHED
-        self.fetch_cycle = -1
-        self.alloc_cycle = -1
-        self.issue_cycle = -1
-        self.done_cycle = -1
-        self.retire_cycle = -1
-        self.squash_cycle = -1
+        self.fetch_cycle = self.alloc_cycle = self.issue_cycle = -1
+        self.done_cycle = self.retire_cycle = self.squash_cycle = -1
         self.lsq_index = -1
 
     # ------------------------------------------------------------------

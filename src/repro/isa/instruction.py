@@ -5,6 +5,15 @@ are small integers indexing the program's instruction list; the fall-through
 successor of any non-taken control transfer is ``pc + 1``.  This "word
 addressed" encoding keeps the fetch and convergence-detection logic exact
 while staying cheap to simulate.
+
+Classification flags (``is_branch``, ``is_load``, ``writes_register``, …)
+are **precomputed plain attributes**, not properties: the cycle engine reads
+them on every fetch/rename/issue/retire of every micro-op, and at simulation
+scale the descriptor-call overhead of a property is one of the largest
+single costs in the hot loop (measured in docs/performance.md).  They are
+decode outputs — fixed functions of the fields — so computing them once in
+``__post_init__`` is semantically identical.  The execution ``latency`` and
+``port_group`` of the micro-op class are materialized the same way.
 """
 
 from __future__ import annotations
@@ -12,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.isa.opcodes import UopClass
+from repro.isa.opcodes import LATENCY, PORT_GROUP, UopClass
 from repro.isa import registers
+
+_SET = object.__setattr__  # the only writer of a frozen instruction's slots
 
 
 @dataclass(frozen=True)
@@ -42,6 +53,27 @@ class Instruction:
         address process.  ``None`` selects the workload default.
     label:
         Optional human-readable annotation used in disassembly and tests.
+
+    Derived (decode) attributes — set once, never part of equality/hash:
+
+    ``is_branch``
+        ``True`` for any control-transfer instruction.
+    ``is_cond_branch``
+        ``True`` for conditional branches (the ACB candidates).
+    ``is_mem`` / ``is_load`` / ``is_store``
+        Memory classification.
+    ``writes_register``
+        ``True`` when the instruction produces a register or flags value.
+        The paper's register-transparency scheme (Section III-C2) only
+        needs to track such producers; stores and branches on the
+        predicated-false path simply release their resources.
+    ``fallthrough``
+        PC of the sequential successor (``pc + 1``).
+    ``latency``
+        Base execution latency of the micro-op class (loads add cache
+        hierarchy latency on top).
+    ``port_group``
+        Execution-port group the micro-op competes for.
     """
 
     pc: int
@@ -54,6 +86,20 @@ class Instruction:
     label: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
+        uop = self.uop
+        is_branch = uop is UopClass.BRANCH
+        is_load = uop is UopClass.LOAD
+        is_store = uop is UopClass.STORE
+        _SET(self, "is_branch", is_branch)
+        _SET(self, "is_cond_branch", is_branch and self.cond)
+        _SET(self, "is_load", is_load)
+        _SET(self, "is_store", is_store)
+        _SET(self, "is_mem", is_load or is_store)
+        _SET(self, "writes_register", self.dst is not None)
+        _SET(self, "fallthrough", self.pc + 1)
+        _SET(self, "latency", LATENCY[uop])
+        _SET(self, "port_group", PORT_GROUP[uop])
+
         if self.pc < 0:
             raise ValueError(f"negative pc: {self.pc}")
         if self.dst is not None and not registers.is_valid(self.dst):
@@ -61,7 +107,7 @@ class Instruction:
         for src in self.srcs:
             if not registers.is_valid(src):
                 raise ValueError(f"invalid source register: {src}")
-        if self.is_branch:
+        if is_branch:
             if self.target is None:
                 raise ValueError(f"branch at pc={self.pc} lacks a target")
             if self.target < 0:
@@ -72,46 +118,8 @@ class Instruction:
             raise ValueError(f"non-branch at pc={self.pc} cannot have a target")
 
     # ------------------------------------------------------------------
-    # Classification helpers
+    # Classification helpers that stay computed (cold paths only)
     # ------------------------------------------------------------------
-    @property
-    def is_branch(self) -> bool:
-        """``True`` for any control-transfer instruction."""
-        return self.uop is UopClass.BRANCH
-
-    @property
-    def is_cond_branch(self) -> bool:
-        """``True`` for conditional branches (the ACB candidates)."""
-        return self.is_branch and self.cond
-
-    @property
-    def is_mem(self) -> bool:
-        """``True`` for loads and stores."""
-        return self.uop in (UopClass.LOAD, UopClass.STORE)
-
-    @property
-    def is_load(self) -> bool:
-        return self.uop is UopClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.uop is UopClass.STORE
-
-    @property
-    def writes_register(self) -> bool:
-        """``True`` when the instruction produces a register or flags value.
-
-        The paper's register-transparency scheme (Section III-C2) only needs
-        to track such producers; stores and branches on the predicated-false
-        path simply release their resources.
-        """
-        return self.dst is not None
-
-    @property
-    def fallthrough(self) -> int:
-        """PC of the sequential successor."""
-        return self.pc + 1
-
     def successors(self) -> Tuple[int, ...]:
         """Possible next PCs (used by CFG construction)."""
         if self.is_cond_branch:

@@ -11,7 +11,7 @@ diverges and must be refetched (Section III-C).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.program.program import Program
 from repro.workloads.behaviors import (
@@ -76,9 +76,13 @@ class Workload:
         return behavior
 
 
-@dataclass(frozen=True)
-class StepResult:
-    """Functional outcome of one correct-path instruction."""
+class StepResult(NamedTuple):
+    """Functional outcome of one correct-path instruction.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is created per
+    simulated instruction, and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     taken: Optional[bool]     # branches only
     next_pc: int
@@ -93,6 +97,12 @@ class FunctionalExecutor:
         self.program = workload.program
         self.state = WorkloadState(workload.seed + seed_offset)
         self.next_pc = 0
+        # per-pc behaviour objects, filled on first touch.  The workload's
+        # registry lookups return the same object for a pc every time, so
+        # memoizing them only removes the repeated dict/isinstance work
+        # from the one-call-per-instruction hot path.
+        self._branch_beh: Dict[int, "BranchBehavior"] = {}
+        self._mem_beh: Dict[int, MemBehavior] = {}
 
     @property
     def instr_count(self) -> int:
@@ -101,15 +111,28 @@ class FunctionalExecutor:
 
     def step(self, pc: int) -> StepResult:
         """Execute the instruction at *pc*, which must be the next correct PC."""
+        return StepResult(*self.step_fast(pc))
+
+    def step_fast(self, pc: int) -> tuple:
+        """:meth:`step` returning a bare ``(taken, next_pc, mem_addr)``.
+
+        The cycle engine calls this once per correct-path fetch and unpacks
+        the tuple immediately, so it skips the StepResult construction.
+        """
         if pc != self.next_pc:
             raise RuntimeError(
                 f"functional stream out of sync: expected pc={self.next_pc}, got {pc}"
             )
+        state = self.state
         instr = self.program[pc]
         taken: Optional[bool] = None
         mem_addr: Optional[int] = None
         if instr.is_cond_branch:
-            taken = self.workload.branch_behavior(pc).resolve(self.state)
+            beh = self._branch_beh.get(pc)
+            if beh is None:
+                beh = self.workload.branch_behavior(pc)
+                self._branch_beh[pc] = beh
+            taken = beh.resolve(state)
             nxt = instr.target if taken else instr.fallthrough
         elif instr.is_branch:
             taken = True
@@ -117,10 +140,14 @@ class FunctionalExecutor:
         else:
             nxt = instr.fallthrough
             if instr.is_mem:
-                mem_addr = self.workload.mem_behavior(pc).address(self.state)
-        self.state.instr_count += 1
+                mbeh = self._mem_beh.get(pc)
+                if mbeh is None:
+                    mbeh = self.workload.mem_behavior(pc)
+                    self._mem_beh[pc] = mbeh
+                mem_addr = mbeh.address(state)
+        state.instr_count += 1
         self.next_pc = nxt
-        return StepResult(taken=taken, next_pc=nxt, mem_addr=mem_addr)
+        return (taken, nxt, mem_addr)
 
     # -- rewind support ---------------------------------------------------
     def snapshot(self) -> Tuple[int, tuple]:
