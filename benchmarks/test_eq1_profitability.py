@@ -9,7 +9,7 @@ body-size sweep on the simulator.
 
 import pytest
 
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.harness import experiments, format_table
 from repro.workloads import HammockSpec, WorkloadSpec, build_workload
 

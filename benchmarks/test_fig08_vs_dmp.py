@@ -6,7 +6,7 @@ Paper: Dynamo lifts ACB from 6.7% to 8.0%; without it the worst outliers
 monitoring is needed (C).
 """
 
-from repro.harness import experiments, format_table, pct
+from repro.harness import experiments, format_table
 
 from conftest import once, report
 

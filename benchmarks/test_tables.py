@@ -13,7 +13,8 @@ def test_table1_storage(benchmark):
             if k.endswith("_bytes") and k != "total_bytes"]
     rows.append(["TOTAL", f"{result['total_bytes']:.0f} B"])
     rows.append(["paper", f"{result['paper_total_bytes']} B"])
-    report("table1_storage", "ACB storage budget\n" + format_table(["structure", "bytes"], rows))
+    table = format_table(["structure", "bytes"], rows)
+    report("table1_storage", "ACB storage budget\n" + table)
 
     assert result["total_bytes"] == result["paper_total_bytes"] == 386
 
@@ -22,7 +23,8 @@ def test_table2_core_params(benchmark):
     """Table II: the Skylake-like simulated core."""
     result = once(benchmark, experiments.table2_core_params)
     rows = sorted(result.items())
-    report("table2_core_params", "Core parameters\n" + format_table(["parameter", "value"], rows))
+    table = format_table(["parameter", "value"], rows)
+    report("table2_core_params", "Core parameters\n" + table)
     assert result["Branch predictor"] == "TAGE"
     assert "224" in result["ROB / IQ"]
 
@@ -32,6 +34,7 @@ def test_table3_workloads(benchmark):
     result = once(benchmark, experiments.table3_workloads)
     rows = [[cat, str(len(names)), ", ".join(sorted(names)[:6]) + ", ..."]
             for cat, names in sorted(result.items())]
-    report("table3_workloads", "Workload suite\n" + format_table(["category", "count", "members"], rows))
+    table = format_table(["category", "count", "members"], rows)
+    report("table3_workloads", "Workload suite\n" + table)
     assert sum(len(v) for v in result.values()) == 70
     assert set(result) == {"ISPEC", "FSPEC", "SPEC17", "SYSmark", "Client", "Server"}

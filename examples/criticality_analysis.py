@@ -10,7 +10,7 @@ path, using the Fields et al. data-dependency-graph model (Section II-A).
 Run:  python examples/criticality_analysis.py
 """
 
-from repro import AcbScheme, Core, SKYLAKE_LIKE, load_suite
+from repro import SKYLAKE_LIKE, AcbScheme, Core, load_suite
 from repro.criticality import classify_mispredictions
 from repro.harness import pct
 from repro.harness.runner import reduced_acb_config

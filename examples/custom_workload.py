@@ -14,7 +14,7 @@ Equation 1 confidence and Dynamo state.
 Run:  python examples/custom_workload.py
 """
 
-from repro import AcbScheme, Core, SKYLAKE_LIKE, Workload, build_workload
+from repro import SKYLAKE_LIKE, AcbScheme, Core, Workload, build_workload
 from repro.acb.acb_table import STATE_NAMES
 from repro.harness.runner import reduced_acb_config
 from repro.program import ProgramBuilder, find_reconvergence

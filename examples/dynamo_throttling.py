@@ -15,7 +15,7 @@ Run:  python examples/dynamo_throttling.py
 
 from dataclasses import replace
 
-from repro import AcbScheme, Core, SKYLAKE_LIKE, build_workload
+from repro import SKYLAKE_LIKE, AcbScheme, Core, build_workload
 from repro.acb.acb_table import STATE_NAMES
 from repro.harness import pct
 from repro.harness.runner import reduced_acb_config

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py [workload-name]
 
 import sys
 
-from repro import AcbScheme, Core, SKYLAKE_LIKE, load_suite
+from repro import SKYLAKE_LIKE, AcbScheme, Core, load_suite
 from repro.acb import storage_report
 from repro.harness import pct
 from repro.harness.runner import reduced_acb_config

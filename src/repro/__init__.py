@@ -24,7 +24,7 @@ Quickstart::
 
 from repro.acb import AcbConfig, AcbScheme
 from repro.baselines import DhpScheme, DmpPbhScheme, DmpScheme
-from repro.core import Core, CoreConfig, SKYLAKE_LIKE, SimStats, scaled
+from repro.core import SKYLAKE_LIKE, Core, CoreConfig, SimStats, scaled
 from repro.harness import compare_configs, run_workload
 from repro.workloads import REPRESENTATIVE, Workload, build_workload, load_suite
 

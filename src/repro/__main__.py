@@ -3,12 +3,20 @@
 Commands
 --------
 ``run WORKLOAD [--config acb] [--scale 1]``
-    Simulate one suite workload under a named configuration and print the
-    measurement-window statistics.
+    Simulate one workload under a named configuration and print the
+    measurement-window statistics.  ``WORKLOAD`` is a suite name or a
+    trace reference — ``trace:<mini-trace>`` (committed under
+    ``tests/traces/``) or ``trace:<path>`` for any trace file on disk.
 ``compare WORKLOAD [CONFIG ...]``
     Run several configurations on one workload side by side.
 ``suite``
     List the 70 workloads by category (Table III).
+``convert-trace INPUT [--window N] [--offset N] [--out FILE]``
+    Ingest a branch trace (native ``.rbt.gz`` or CBP-style text), cut a
+    replay window out of it with proportional ACB/Dynamo epoch scaling,
+    print its summary statistics (static branches, taken rate, per-PC
+    misprediction concentration under TAGE), and write the converted
+    native trace (see docs/workloads.md, "Trace-driven workloads").
 ``experiment NAME``
     Run one figure/table driver (``fig6``, ``fig8``, ``table1`` ...) and
     print its structured result.
@@ -51,12 +59,14 @@ from repro.harness.parallel import session_manifests
 from repro.harness.reporting import summarize_manifests
 from repro.harness.runner import SCHEME_FACTORIES, run_workload
 from repro.workloads import categories, suite_names
+from repro.workloads.trace import is_trace_name, resolve_trace_path
 
 EXPERIMENTS = {
     "fig1": experiments.fig1_scaling_potential,
     "sec2": experiments.sec2_characterization,
     "eq1": experiments.eq1_profitability,
     "fig6": experiments.fig6_acb_summary,
+    "fig6-traces": experiments.fig6_traces_summary,
     "fig7": experiments.fig7_correlation,
     "fig8": experiments.fig8_vs_dmp,
     "fig9": experiments.fig9_dmp_pbh,
@@ -68,6 +78,22 @@ EXPERIMENTS = {
     "sec5d": experiments.sec5d_core_scaling,
     "sec5e": experiments.sec5e_power_proxies,
 }
+
+
+def _workload_ref(name: str) -> str:
+    """argparse type: a suite workload name or ``trace:<name-or-path>``."""
+    if is_trace_name(name):
+        try:
+            resolve_trace_path(name)
+        except KeyError as exc:
+            raise argparse.ArgumentTypeError(str(exc).strip("'\"")) from None
+        return name
+    if name in suite_names():
+        return name
+    raise argparse.ArgumentTypeError(
+        f"unknown workload {name!r}: not a suite workload (see `repro suite`) "
+        f"and not a trace:<name-or-path> reference"
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -178,6 +204,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.config import SKYLAKE_LIKE, scaled
     from repro.core.engine import Core
     from repro.harness.parallel import record_artifacts
+    from repro.harness.runner import resolve_workload, scheme_for
     from repro.trace import (
         TraceConfig,
         export_chrome,
@@ -185,7 +212,6 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         format_acb_log,
         format_branch_timeline,
     )
-    from repro.workloads import load_suite
 
     formats = list(dict.fromkeys(args.formats)) if args.formats else list(_TRACE_FORMATS)
     for fmt in formats:
@@ -194,12 +220,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
 
-    (workload,) = load_suite([args.workload])
+    workload = resolve_workload(args.workload)
     trace_cfg = TraceConfig(
         uop_capacity=args.uop_capacity, acb_capacity=args.acb_capacity
     )
     core_cfg = dc_replace(scaled(args.scale, SKYLAKE_LIKE), trace=trace_cfg)
-    scheme = SCHEME_FACTORIES[args.config]()
+    scheme = scheme_for(workload, args.config)
     predictor = "oracle" if args.config == "oracle-bp" else None
     started = time.perf_counter()
     core = Core(workload, core_cfg, scheme=scheme, predictor=predictor)
@@ -207,9 +233,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     core.trace.finish(core.cycle)
     elapsed = time.perf_counter() - started
 
-    out_dir = args.out or os.path.join(
-        ".repro_traces", f"{args.workload}-{args.config}"
-    )
+    slug = args.workload.replace(":", "_").replace("/", "_")
+    out_dir = args.out or os.path.join(".repro_traces", f"{slug}-{args.config}")
     os.makedirs(out_dir, exist_ok=True)
     written = []
     if "konata" in formats:
@@ -249,6 +274,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"raise --uop-capacity/--acb-capacity or shrink the window",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_convert_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.trace import (
+        TraceFormatError,
+        TraceMeta,
+        downsample,
+        load_branch_trace,
+        recommended_acb_scale,
+        summarize,
+        trace_stem,
+        write_trace,
+    )
+
+    try:
+        meta, records = load_branch_trace(args.input)
+        window, offset = downsample(records, args.window, args.offset)
+    except (TraceFormatError, ValueError) as exc:
+        print(f"convert-trace: {exc}", file=sys.stderr)
+        return 2
+    if not window:
+        print(f"convert-trace: {args.input} holds no branch events",
+              file=sys.stderr)
+        return 2
+
+    summary = summarize(window)
+    scale = recommended_acb_scale(len(window))
+    print(f"{args.input}: {len(records)} events"
+          + (f", window [{offset}, {offset + len(window)})" if args.window else ""))
+    print(summary.format())
+    print(f"acb scale        {scale} (windows reduced 1/{scale})")
+    if args.stats_only:
+        return 0
+
+    name = args.name or trace_stem(args.input)
+    out = args.out or os.path.join(
+        ".repro_traces", "converted", f"{name}.rbt.gz"
+    )
+    out_meta = TraceMeta(
+        name=name,
+        records=len(window),
+        source=meta.source or args.input,
+        source_records=meta.source_records or len(records),
+        window_offset=meta.window_offset + offset,
+        acb_scale=scale,
+        notes=meta.notes,
+    )
+    write_trace(out, window, out_meta)
+    print(f"wrote {out} ({os.path.getsize(out)} bytes, {len(window)} records)")
+    print(f"replay with: python -m repro run trace:{out} --config acb")
     return 0
 
 
@@ -335,13 +411,15 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="simulate one workload")
-    p_run.add_argument("workload", choices=suite_names(), metavar="WORKLOAD")
+    p_run.add_argument("workload", type=_workload_ref, metavar="WORKLOAD",
+                       help="suite workload or trace:<name-or-path>")
     p_run.add_argument("--config", default="acb", choices=sorted(SCHEME_FACTORIES))
     p_run.add_argument("--scale", type=int, default=1)
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare configurations")
-    p_cmp.add_argument("workload", choices=suite_names(), metavar="WORKLOAD")
+    p_cmp.add_argument("workload", type=_workload_ref, metavar="WORKLOAD",
+                       help="suite workload or trace:<name-or-path>")
     p_cmp.add_argument("configs", nargs="*",
                        default=["baseline", "acb", "dmp", "dhp"])
     p_cmp.add_argument("--scale", type=int, default=1)
@@ -378,7 +456,8 @@ def main(argv=None) -> int:
     p_trc = sub.add_parser(
         "trace", help="export cycle-level pipeline and ACB decision traces"
     )
-    p_trc.add_argument("workload", choices=suite_names(), metavar="WORKLOAD")
+    p_trc.add_argument("workload", type=_workload_ref, metavar="WORKLOAD",
+                       help="suite workload or trace:<name-or-path>")
     p_trc.add_argument("--config", default="acb", choices=sorted(SCHEME_FACTORIES))
     p_trc.add_argument("--scale", type=int, default=1)
     p_trc.add_argument("--warmup", type=int, default=3000,
@@ -397,6 +476,26 @@ def main(argv=None) -> int:
     p_trc.add_argument("--acb-capacity", type=int, default=1 << 14,
                        help="ACB event ring-buffer capacity")
     p_trc.set_defaults(func=_cmd_trace)
+
+    p_cvt = sub.add_parser(
+        "convert-trace",
+        help="ingest a branch trace: downsample, characterize, write native",
+    )
+    p_cvt.add_argument("input", metavar="INPUT",
+                       help="trace file (.rbt[.gz] native, .cbp/.txt[.gz] text)")
+    p_cvt.add_argument("--window", type=int, default=None, metavar="N",
+                       help="keep only N events (default: the whole trace)")
+    p_cvt.add_argument("--offset", type=int, default=0, metavar="N",
+                       help="start the window N events in (default 0)")
+    p_cvt.add_argument("--out", default=None, metavar="FILE",
+                       help="output path (default: "
+                            ".repro_traces/converted/<name>.rbt.gz)")
+    p_cvt.add_argument("--name", default=None,
+                       help="trace name recorded in the header "
+                            "(default: input stem)")
+    p_cvt.add_argument("--stats-only", action="store_true",
+                       help="characterize without writing a converted trace")
+    p_cvt.set_defaults(func=_cmd_convert_trace)
 
     p_bench = sub.add_parser(
         "bench", help="time the simulator on the pinned target matrix"

@@ -24,23 +24,23 @@ the scheme and Dynamo emit decision events — learning transitions,
 region lifecycles, epoch verdicts — through the core's trace collector.
 """
 
-from repro.acb.config import AcbConfig, PAPER_DEFAULT, REDUCED_DEFAULT
-from repro.acb.critical_table import CriticalTable
-from repro.acb.learning import ConvergenceResult, LearningTable, effective_taken
 from repro.acb.acb_table import (
-    AcbEntry,
-    AcbTable,
     BAD,
     GOOD,
     LIKELY_BAD,
     LIKELY_GOOD,
     NEUTRAL,
+    AcbEntry,
+    AcbTable,
 )
-from repro.acb.tracking import TrackingTable
+from repro.acb.config import PAPER_DEFAULT, REDUCED_DEFAULT, AcbConfig
+from repro.acb.critical_table import CriticalTable
 from repro.acb.dynamo import Dynamo
-from repro.acb.throttle import StallThrottle
+from repro.acb.learning import ConvergenceResult, LearningTable, effective_taken
 from repro.acb.scheme import AcbScheme
 from repro.acb.storage import PAPER_TOTAL_BYTES, storage_report
+from repro.acb.throttle import StallThrottle
+from repro.acb.tracking import TrackingTable
 
 __all__ = [
     "AcbConfig",

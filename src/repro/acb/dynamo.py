@@ -22,13 +22,13 @@ from __future__ import annotations
 from typing import List
 
 from repro.acb.acb_table import (
-    AcbEntry,
-    AcbTable,
     BAD,
     GOOD,
     LIKELY_BAD,
     LIKELY_GOOD,
     NEUTRAL,
+    AcbEntry,
+    AcbTable,
 )
 from repro.acb.config import AcbConfig
 

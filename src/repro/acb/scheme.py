@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.acb.acb_table import AcbTable
-from repro.acb.config import AcbConfig, REDUCED_DEFAULT
+from repro.acb.config import REDUCED_DEFAULT, AcbConfig
 from repro.acb.critical_table import CriticalTable
 from repro.acb.dynamo import Dynamo
 from repro.acb.learning import ConvergenceResult, LearningTable
@@ -23,7 +23,7 @@ from repro.acb.storage import storage_report
 from repro.acb.tracking import TrackingTable
 from repro.branch.base import Prediction
 from repro.core.predication import PredicationPlan, PredicationScheme, RegionRecord
-from repro.isa.dyninst import DynInst, ROLE_SELECT
+from repro.isa.dyninst import ROLE_SELECT, DynInst
 
 
 class AcbScheme(PredicationScheme):
@@ -154,7 +154,9 @@ class AcbScheme(PredicationScheme):
         if tracking.active:
             tracking.observe(dyn)
 
-    def on_branch_resolved(self, dyn: DynInst, mispredicted: bool, predicated: bool) -> None:
+    def on_branch_resolved(
+        self, dyn: DynInst, mispredicted: bool, predicated: bool
+    ) -> None:
         if predicated:
             if dyn.diverged:
                 self.divergences += 1
@@ -262,7 +264,8 @@ class AcbScheme(PredicationScheme):
     def on_retire(self, dyn: DynInst) -> None:
         if self.monitor is not None and self.monitor is not self.dynamo:
             # stall-count throttle: charge predicated-body issue-queue waits
-            if dyn.acb_id >= 0 and dyn.acb_role != ROLE_SELECT and not dyn.instr.is_cond_branch:
+            if (dyn.acb_id >= 0 and dyn.acb_role != ROLE_SELECT
+                    and not dyn.instr.is_cond_branch):
                 branch_pc = self._branch_pc_by_seq.get(dyn.acb_id)
                 if branch_pc is not None and dyn.issue_cycle > dyn.alloc_cycle:
                     self.monitor.note_body_stall(

@@ -13,7 +13,7 @@ matches the published 386 bytes exactly.
 
 from __future__ import annotations
 
-from typing import Dict, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.acb.scheme import AcbScheme

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.acb.acb_table import AcbEntry, AcbTable, BAD, GOOD, NEUTRAL
+from repro.acb.acb_table import BAD, GOOD, NEUTRAL, AcbEntry, AcbTable
 from repro.acb.config import AcbConfig
 
 

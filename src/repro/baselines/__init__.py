@@ -1,8 +1,8 @@
 """Prior-work baselines: DMP, DMP-PBH (oracle history), and DHP."""
 
-from repro.baselines.profiles import BranchProfile, profile_workload
-from repro.baselines.dmp import DmpConfig, DmpPbhScheme, DmpScheme
 from repro.baselines.dhp import DhpConfig, DhpScheme
+from repro.baselines.dmp import DmpConfig, DmpPbhScheme, DmpScheme
+from repro.baselines.profiles import BranchProfile, profile_workload
 from repro.baselines.wish import WishConfig, WishScheme
 
 __all__ = [

@@ -104,7 +104,9 @@ class DmpScheme(PredicationScheme):
             max_cycles=self.config.max_cycles,
         )
 
-    def on_branch_resolved(self, dyn: DynInst, mispredicted: bool, predicated: bool) -> None:
+    def on_branch_resolved(
+        self, dyn: DynInst, mispredicted: bool, predicated: bool
+    ) -> None:
         if predicated:
             if dyn.diverged:
                 self.divergences += 1

@@ -38,14 +38,14 @@ _PROFILE_FILES = (
 
 def _run_target(target: BenchTarget) -> Dict[str, Any]:
     from repro.core import SKYLAKE_LIKE, Core, scaled
-    from repro.harness.runner import SCHEME_FACTORIES
+    from repro.harness.runner import scheme_for
     from repro.workloads import load_suite
 
     if target.factory is not None:
         workload = target.factory()
     else:
         (workload,) = load_suite([target.workload])
-    scheme = SCHEME_FACTORIES[target.config]()
+    scheme = scheme_for(workload, target.config)
     predictor = "oracle" if target.config == "oracle-bp" else None
 
     started = time.perf_counter()

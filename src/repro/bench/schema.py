@@ -22,7 +22,7 @@ Each run record::
 
     {
       "name": "fig6:lammps:acb",    # stable target name (compare key)
-      "group": "fig6",              # fig6 | scheme | micro
+      "group": "fig6",              # fig6 | scheme | micro | trace
       "workload": "lammps",
       "config": "acb",
       "warmup": 16000, "measure": 12000,

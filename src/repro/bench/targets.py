@@ -1,6 +1,6 @@
 """The pinned bench target matrix.
 
-Three groups, chosen so a single report answers the questions we actually
+Four groups, chosen so a single report answers the questions we actually
 ask of it:
 
 * ``fig6`` — the Figure 6 smoke set (the 12-workload representative subset
@@ -12,6 +12,10 @@ ask of it:
 * ``micro`` — per-pipeline-stage stressors (:mod:`repro.bench.micro`):
   localizes a regression to fetch/issue/memory/predication before
   profiling.
+* ``trace`` — a committed mini-trace replayed under baseline/ACB
+  (:mod:`repro.workloads.trace`): times the trace-reconstruction path,
+  whose programs are shaped by recorded control flow rather than the
+  synthetic generator.
 
 ``quick=True`` shrinks the matrix (fewer workloads, smaller windows) to a
 CI-sized smoke run.  Target *names* are stable across quick and full modes
@@ -39,7 +43,7 @@ class BenchTarget:
     """One timed simulation: a workload under a configuration and window."""
 
     name: str                 # stable identifier, e.g. ``fig6:lammps:acb``
-    group: str                # ``fig6`` | ``scheme`` | ``micro``
+    group: str                # ``fig6`` | ``scheme`` | ``micro`` | ``trace``
     workload: str             # suite name, or micro kernel name
     config: str               # scheme configuration (repro.harness.runner)
     warmup: int
@@ -75,6 +79,18 @@ def bench_targets(quick: bool = False) -> List[BenchTarget]:
             workload=SCHEME_WORKLOAD, config=config,
             warmup=scheme_warmup, measure=scheme_measure,
         ))
+
+    from repro.workloads.trace import load_trace_workload, registered_traces
+
+    if "h2p_loop" in registered_traces():
+        trace_warmup, trace_measure = (2000, 2000) if quick else (8000, 8000)
+        for config in ("baseline", "acb"):
+            targets.append(BenchTarget(
+                name=f"trace:h2p_loop:{config}", group="trace",
+                workload="trace:h2p_loop", config=config,
+                warmup=trace_warmup, measure=trace_measure,
+                factory=lambda: load_trace_workload("trace:h2p_loop"),
+            ))
 
     micro_warmup, micro_measure = (1000, 4000) if quick else (2000, 12000)
     for kernel, factory in MICRO_WORKLOADS.items():

@@ -3,14 +3,14 @@ oracle, a JRS confidence estimator (for the DMP/DHP baselines), and a BTB.
 """
 
 from repro.branch.base import Prediction, Predictor
-from repro.branch.history import GlobalHistory
 from repro.branch.bimodal import BimodalPredictor, BimodalTable
-from repro.branch.gshare import GSharePredictor
-from repro.branch.tage import TagePredictor
-from repro.branch.perceptron import PerceptronPredictor
-from repro.branch.oracle import OraclePredictor
-from repro.branch.confidence import ConfidenceEstimator
 from repro.branch.btb import BranchTargetBuffer
+from repro.branch.confidence import ConfidenceEstimator
+from repro.branch.gshare import GSharePredictor
+from repro.branch.history import GlobalHistory
+from repro.branch.oracle import OraclePredictor
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.tage import TagePredictor
 
 PREDICTORS = {
     "bimodal": BimodalPredictor,

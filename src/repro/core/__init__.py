@@ -24,7 +24,7 @@ Policies plug in from outside: :class:`repro.acb.AcbScheme` and the
 baselines (`repro.baselines`) implement :class:`PredicationScheme`.
 """
 
-from repro.core.config import CoreConfig, SKYLAKE_LIKE, scaled
+from repro.core.config import SKYLAKE_LIKE, CoreConfig, scaled
 from repro.core.engine import Core, DeadlockError
 from repro.core.predication import (
     PredicationPlan,

@@ -23,7 +23,7 @@ from collections import deque
 from typing import Dict, List, Optional
 
 from repro.branch import BranchTargetBuffer, make_predictor
-from repro.core.config import CoreConfig, SKYLAKE_LIKE
+from repro.core.config import SKYLAKE_LIKE, CoreConfig
 from repro.core.predication import (
     PredicationPlan,
     PredicationScheme,
@@ -33,7 +33,6 @@ from repro.core.predication import (
 from repro.core.stats import SimStats
 from repro.isa import Instruction, UopClass
 from repro.isa.dyninst import (
-    DynInst,
     ROLE_BODY,
     ROLE_BRANCH,
     ROLE_JUMPER,
@@ -43,6 +42,7 @@ from repro.isa.dyninst import (
     ST_ISSUED,
     ST_RETIRED,
     ST_SQUASHED,
+    DynInst,
 )
 from repro.memory import MemoryHierarchy
 from repro.validate.events import RetireEvent
@@ -578,11 +578,13 @@ class Core:
                 del self.unresolved_regions[seq]
 
         # functional rewind for divergent predicated instances
-        if branch.region is not None and branch.region.func_snapshot is not None and branch.diverged:
+        region = branch.region
+        if region is not None and region.func_snapshot is not None and branch.diverged:
             self.func.restore(branch.region.func_snapshot)
 
         self.on_correct_path = True
-        self.fetch_pc = branch.resume_pc if branch.resume_pc is not None else self.func.next_pc
+        self.fetch_pc = (branch.resume_pc if branch.resume_pc is not None
+                         else self.func.next_pc)
         self.fetch_resume_cycle = self.cycle + self.config.flush_latency
         self.fetch_halted = False
         # loads parked behind now-squashed stores must re-enter the scheduler
@@ -837,7 +839,8 @@ class Core:
         if self.fetch_halted or self.cycle < self.fetch_resume_cycle:
             stats.fetch_stall_cycles += 1
             region = self.region
-            if region is not None and self.cycle - region.opened_cycle > region.plan.max_cycles:
+            if (region is not None
+                    and self.cycle - region.opened_cycle > region.plan.max_cycles):
                 self._diverge_region(region)
             return
         budget = self._fetch_width

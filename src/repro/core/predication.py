@@ -13,7 +13,7 @@ space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.branch.base import Prediction
 from repro.isa.dyninst import DynInst
@@ -108,7 +108,9 @@ class PredicationScheme:
     def observe_fetch(self, dyn: DynInst) -> None:
         """Called for every fetched instruction (convergence learning)."""
 
-    def on_branch_resolved(self, dyn: DynInst, mispredicted: bool, predicated: bool) -> None:
+    def on_branch_resolved(
+        self, dyn: DynInst, mispredicted: bool, predicated: bool
+    ) -> None:
         """Called when a correct-path conditional branch executes."""
 
     def on_region_closed(self, region: RegionRecord, diverged: bool) -> None:
@@ -130,7 +132,9 @@ class PredicationScheme:
         return 0.0
 
 
-def region_live_outs(region: RegionRecord, cap: int = 8) -> List[Tuple[int, Optional[DynInst], Optional[DynInst]]]:
+def region_live_outs(
+    region: RegionRecord, cap: int = 8
+) -> List[Tuple[int, Optional[DynInst], Optional[DynInst]]]:
     """Registers written in the region, with each side's last writer.
 
     Used to synthesize select micro-ops; capped because real DMP hardware

@@ -1,7 +1,7 @@
 """Program-criticality analysis (Fields et al. DDG, Section II-A)."""
 
-from repro.criticality.ddg import DdgBuild, build_ddg, critical_seqs, longest_path
 from repro.criticality.analysis import CriticalityReport, classify_mispredictions
+from repro.criticality.ddg import DdgBuild, build_ddg, critical_seqs, longest_path
 
 __all__ = [
     "DdgBuild",

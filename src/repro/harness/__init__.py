@@ -24,17 +24,22 @@ from repro.harness.reporting import (
     summarize_manifests,
 )
 from repro.harness.runner import (
+    ACB_VARIANTS,
     SCHEME_FACTORIES,
     RunResult,
     compare_configs,
     default_measure,
     default_warmup,
+    make_scheme,
     normalized_run_key,
     reduced_acb_config,
+    resolve_workload,
     run_workload,
+    scheme_for,
 )
 
 __all__ = [
+    "ACB_VARIANTS",
     "CACHE_SCHEMA_VERSION",
     "MatrixManifest",
     "ResultCache",
@@ -51,12 +56,15 @@ __all__ = [
     "geomean",
     "get_active_cache",
     "last_manifest",
+    "make_scheme",
     "normalized_run_key",
     "pct",
     "per_category",
     "reduced_acb_config",
+    "resolve_workload",
     "run_matrix",
     "run_workload",
+    "scheme_for",
     "session_manifests",
     "set_active_cache",
     "summarize_manifests",

@@ -159,6 +159,37 @@ def fig6_acb_summary(names: Optional[Sequence[str]] = None) -> Dict:
     }
 
 
+def fig6_traces_summary(names: Optional[Sequence[str]] = None) -> Dict:
+    """Figure 6-style baseline-vs-ACB matrix over the ingested traces.
+
+    Runs every registered mini-trace (``tests/traces/``, or the directory
+    named by ``REPRO_TRACE_DIR``) through ``baseline`` and ``acb`` and
+    reports the same speedup/flush-reduction summary as :func:`fig6_acb_summary`
+    — the trace-driven counterpart of the synthetic-suite headline.
+    """
+    from repro.workloads.trace import trace_workload_names
+
+    names = list(names) if names is not None else trace_workload_names()
+    if not names:
+        return {"names": [], "per_workload": {}, "geomean": 1.0,
+                "flush_reduction": 0.0}
+    results = compare_configs(names, ["baseline", "acb"])
+    speedups = _speedups(results, "acb")
+    base_flushes = sum(r["baseline"].stats.flushes for r in results.values())
+    acb_flushes = sum(r["acb"].stats.flushes for r in results.values())
+    return {
+        "names": names,
+        "per_workload": speedups,
+        "predicated_instances": {
+            name: results[name]["acb"].stats.predicated_instances
+            for name in results
+        },
+        "geomean": geomean(speedups.values()),
+        "flush_reduction": 1 - acb_flushes / max(1, base_flushes),
+        "results": results,
+    }
+
+
 # ======================================================================
 # Figure 7 — mis-speculation vs performance correlation
 # ======================================================================

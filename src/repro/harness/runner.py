@@ -31,6 +31,13 @@ from repro.core.predication import PredicationScheme
 from repro.core.stats import SimStats
 from repro.harness import cache as result_cache
 from repro.workloads import Workload, load_suite
+from repro.workloads.trace import (
+    TraceReplayWorkload,
+    is_trace_name,
+    load_trace_workload,
+    resolve_trace_path,
+    trace_content_digest,
+)
 
 
 def default_warmup() -> int:
@@ -46,25 +53,88 @@ def reduced_acb_config() -> AcbConfig:
     return AcbConfig().reduced(10)
 
 
+#: ACB configuration names → ``AcbConfig`` field overrides applied on top of
+#: whatever base configuration the run uses (the suite default, or a
+#: trace-proportional one — see :func:`make_scheme`).
+ACB_VARIANTS: Dict[str, Dict[str, object]] = {
+    "acb": {},
+    "acb-nodynamo": {"dynamo_enabled": False},
+    "acb-select": {"select_uops": True},
+    "acb-pbh": {"oracle_history": True},
+    "acb-stalls": {"throttle": "stalls"},
+    "acb-multireconv": {"multi_reconv": True},
+}
+
+
+def make_scheme(
+    config: str, acb_config: Optional[AcbConfig] = None
+) -> Optional[PredicationScheme]:
+    """Instantiate the predication scheme for a configuration name.
+
+    ACB variants apply their field overrides to *acb_config* (default: the
+    reduced suite configuration), so the same variant can run at a
+    different window scale — trace workloads supply a base proportional to
+    their window length.
+    """
+    if config in ACB_VARIANTS:
+        base = acb_config if acb_config is not None else reduced_acb_config()
+        overrides = ACB_VARIANTS[config]
+        return AcbScheme(replace(base, **overrides) if overrides else base)
+    factory = SCHEME_FACTORIES.get(config)
+    if factory is None:
+        raise ValueError(
+            f"unknown config {config!r}; choose from {sorted(SCHEME_FACTORIES)}"
+        )
+    return factory()
+
+
+def _acb_factory(name: str) -> Callable[[], Optional[PredicationScheme]]:
+    return lambda: make_scheme(name)
+
+
 #: Configuration name → scheme factory (None = no predication).
 SCHEME_FACTORIES: Dict[str, Callable[[], Optional[PredicationScheme]]] = {
     "baseline": lambda: None,
     "oracle-bp": lambda: None,   # perfect branch prediction (predictor swap)
-    "acb": lambda: AcbScheme(reduced_acb_config()),
-    "acb-nodynamo": lambda: AcbScheme(
-        replace(reduced_acb_config(), dynamo_enabled=False)
-    ),
-    "acb-select": lambda: AcbScheme(replace(reduced_acb_config(), select_uops=True)),
-    "acb-pbh": lambda: AcbScheme(replace(reduced_acb_config(), oracle_history=True)),
-    "acb-stalls": lambda: AcbScheme(replace(reduced_acb_config(), throttle="stalls")),
-    "acb-multireconv": lambda: AcbScheme(
-        replace(reduced_acb_config(), multi_reconv=True)
-    ),
+    "acb": _acb_factory("acb"),
+    "acb-nodynamo": _acb_factory("acb-nodynamo"),
+    "acb-select": _acb_factory("acb-select"),
+    "acb-pbh": _acb_factory("acb-pbh"),
+    "acb-stalls": _acb_factory("acb-stalls"),
+    "acb-multireconv": _acb_factory("acb-multireconv"),
     "dmp": lambda: DmpScheme(),
     "dmp-pbh": lambda: DmpPbhScheme(),
     "dhp": lambda: DhpScheme(),
     "wish": lambda: WishScheme(),
 }
+
+
+def resolve_workload(name: str) -> Workload:
+    """Map a workload name — suite or ``trace:<ref>`` — to a Workload."""
+    if is_trace_name(name):
+        return load_trace_workload(name)
+    (workload,) = load_suite([name])
+    return workload
+
+
+def scheme_for(
+    workload_obj: Workload,
+    config: str,
+    acb_config: Optional[AcbConfig] = None,
+) -> Optional[PredicationScheme]:
+    """Scheme for *config* run on *workload_obj*.
+
+    Trace-replay workloads loop a short recorded window, so ACB variants
+    default to an ``AcbConfig`` reduced by the trace's proportional scale
+    (EXPERIMENTS.md methodology) instead of the suite-wide one.
+    """
+    if (
+        acb_config is None
+        and config in ACB_VARIANTS
+        and isinstance(workload_obj, TraceReplayWorkload)
+    ):
+        acb_config = AcbConfig().reduced(workload_obj.acb_scale)
+    return make_scheme(config, acb_config=acb_config)
 
 
 @dataclass
@@ -97,9 +167,16 @@ def normalized_run_key(
     Normalizing here means the two spellings share one cache cell instead
     of aliasing (``oracle-bp`` + stale predictor in the key) or missing
     (re-simulating a ``predictor="oracle"`` baseline already on disk).
+
+    Trace workloads are keyed by *content*: the ``trace:<ref>`` name is
+    extended with a digest of the trace file's bytes, so re-converting or
+    editing a trace in place can never serve stale cached results.
     """
     if config == "oracle-bp":
         config, predictor = "baseline", "oracle"
+    if is_trace_name(workload):
+        digest = trace_content_digest(resolve_trace_path(workload))
+        workload = f"{workload}@{digest}"
     return (
         workload,
         config,
@@ -177,7 +254,7 @@ def run_workload(
         if cached is not None:
             return _relabel(cached, config)
     if isinstance(workload, str):
-        (workload_obj,) = load_suite([workload])
+        workload_obj = resolve_workload(workload)
     else:
         workload_obj = workload
     if config not in SCHEME_FACTORIES:
@@ -185,10 +262,7 @@ def run_workload(
             f"unknown config {config!r}; choose from {sorted(SCHEME_FACTORIES)}"
         )
 
-    if acb_config is not None and config.startswith("acb"):
-        scheme: Optional[PredicationScheme] = AcbScheme(acb_config)
-    else:
-        scheme = SCHEME_FACTORIES[config]()
+    scheme = scheme_for(workload_obj, config, acb_config=acb_config)
     cfg = core_config if core_config is not None else scaled(core_scale, SKYLAKE_LIKE)
     if config == "oracle-bp":
         predictor = "oracle"

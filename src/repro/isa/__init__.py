@@ -5,11 +5,7 @@ This is the lowest substrate layer; everything else (programs, the OOO
 core, ACB) is built on top of it.
 """
 
-from repro.isa.opcodes import UopClass, latency_of, port_group_of
-from repro.isa.registers import ALL_REGS, FLAGS, NUM_GPR, NUM_LOGICAL, reg_name
-from repro.isa.instruction import Instruction
 from repro.isa.dyninst import (
-    DynInst,
     ROLE_BODY,
     ROLE_BRANCH,
     ROLE_JUMPER,
@@ -22,7 +18,11 @@ from repro.isa.dyninst import (
     ST_ISSUED,
     ST_RETIRED,
     ST_SQUASHED,
+    DynInst,
 )
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import UopClass, latency_of, port_group_of
+from repro.isa.registers import ALL_REGS, FLAGS, NUM_GPR, NUM_LOGICAL, reg_name
 
 __all__ = [
     "UopClass",

@@ -11,7 +11,7 @@ fetched micro-op and simulations run for tens of thousands of instructions.
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, List
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.isa.instruction import Instruction

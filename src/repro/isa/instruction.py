@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.isa.opcodes import LATENCY, PORT_GROUP, UopClass
 from repro.isa import registers
+from repro.isa.opcodes import LATENCY, PORT_GROUP, UopClass
 
 _SET = object.__setattr__  # the only writer of a frozen instruction's slots
 

@@ -1,6 +1,5 @@
 """Static program representation, a builder DSL, and CFG analysis."""
 
-from repro.program.program import Program
 from repro.program.builder import ProgramBuilder
 from repro.program.cfg import (
     HammockInfo,
@@ -9,6 +8,7 @@ from repro.program.cfg import (
     find_reconvergence,
     reachable_distances,
 )
+from repro.program.program import Program
 
 __all__ = [
     "Program",

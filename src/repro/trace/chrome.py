@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.isa.dyninst import DynInst, ST_RETIRED
+from repro.isa.dyninst import ST_RETIRED, DynInst
 from repro.trace.collector import TraceCollector
 from repro.trace.konata import _ROLE_NAMES, _stages
 

@@ -28,12 +28,12 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.isa.dyninst import (
-    DynInst,
     ROLE_BODY,
     ROLE_BRANCH,
     ROLE_JUMPER,
     ROLE_SELECT,
     ST_RETIRED,
+    DynInst,
 )
 from repro.trace.collector import TraceCollector
 

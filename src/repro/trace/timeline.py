@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.acb.acb_table import STATE_NAMES
-from repro.isa.dyninst import DynInst, ROLE_BRANCH, ST_RETIRED
+from repro.isa.dyninst import ROLE_BRANCH, ST_RETIRED, DynInst
 from repro.trace.collector import TraceCollector
 from repro.trace.events import AcbTraceEvent
 

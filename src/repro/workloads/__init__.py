@@ -13,9 +13,8 @@ from repro.workloads.behaviors import (
     UniformRandom,
     WorkloadState,
 )
-from repro.workloads.workload import FunctionalExecutor, StepResult, Workload
-from repro.workloads.specs import HammockSpec, WorkloadSpec
 from repro.workloads.generator import build_workload
+from repro.workloads.specs import HammockSpec, WorkloadSpec
 from repro.workloads.suite import (
     REPRESENTATIVE,
     categories,
@@ -23,6 +22,7 @@ from repro.workloads.suite import (
     suite_names,
     suite_specs,
 )
+from repro.workloads.workload import FunctionalExecutor, StepResult, Workload
 
 __all__ = [
     "HammockSpec",

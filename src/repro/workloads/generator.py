@@ -207,7 +207,9 @@ def _emit_hammock(
         b.alu(dst=6, srcs=(5,), note=f"{fname}.join")
 
 
-def _emit_memory(b: ProgramBuilder, spec: WorkloadSpec, behaviors: Dict[str, object]) -> None:
+def _emit_memory(
+    b: ProgramBuilder, spec: WorkloadSpec, behaviors: Dict[str, object]
+) -> None:
     if spec.memory == "none":
         return
     span = spec.mem_span_kb * 1024
@@ -233,7 +235,9 @@ def _emit_memory(b: ProgramBuilder, spec: WorkloadSpec, behaviors: Dict[str, obj
             b.alu(dst=5, srcs=(5, 14), note=f"mem.chaseuse{m}")
 
 
-def _emit_inner_loop(b: ProgramBuilder, spec: WorkloadSpec, behaviors: Dict[str, object]) -> None:
+def _emit_inner_loop(
+    b: ProgramBuilder, spec: WorkloadSpec, behaviors: Dict[str, object]
+) -> None:
     if spec.inner_loop is None:
         return
     trips, jitter = spec.inner_loop

@@ -1,0 +1,87 @@
+"""Trace-driven workloads: ingest real branch traces and replay them.
+
+The synthetic suite reproduces the *shapes* of the paper's figures; this
+package opens the scenario space of real workloads by ingesting branch
+traces (the native ``.rbt.gz`` container or CBP-style text dumps),
+characterizing their H2P statistics, and reconstructing engine-runnable
+workloads from them.  See ``docs/workloads.md`` ("Trace-driven
+workloads") for the format specification and converter workflow.
+"""
+
+from repro.workloads.trace.format import (
+    MAGIC,
+    NATIVE_SUFFIXES,
+    RECORD_BYTES,
+    TEXT_SUFFIXES,
+    TRACE_SCHEMA_VERSION,
+    BranchRecord,
+    TraceFormatError,
+    TraceMeta,
+    downsample,
+    load_branch_trace,
+    read_cbp_text,
+    read_trace,
+    trace_stem,
+    write_trace,
+)
+from repro.workloads.trace.registry import (
+    TRACE_PREFIX,
+    is_trace_name,
+    load_trace_workload,
+    registered_traces,
+    resolve_trace_path,
+    trace_content_digest,
+    trace_workload_names,
+)
+from repro.workloads.trace.replay import (
+    DEFAULT_MAX_STATIC,
+    TraceOutcomes,
+    TraceReplayWorkload,
+    build_trace_workload,
+    recommended_acb_scale,
+)
+from repro.workloads.trace.stats import (
+    H2P_MIN_SHARE,
+    H2P_TOP_K,
+    PcProfile,
+    TraceSummary,
+    misprediction_concentration,
+    replay_tage,
+    summarize,
+)
+
+__all__ = [
+    "MAGIC",
+    "NATIVE_SUFFIXES",
+    "RECORD_BYTES",
+    "TEXT_SUFFIXES",
+    "TRACE_SCHEMA_VERSION",
+    "BranchRecord",
+    "TraceFormatError",
+    "TraceMeta",
+    "downsample",
+    "load_branch_trace",
+    "read_cbp_text",
+    "read_trace",
+    "trace_stem",
+    "write_trace",
+    "TRACE_PREFIX",
+    "is_trace_name",
+    "load_trace_workload",
+    "registered_traces",
+    "resolve_trace_path",
+    "trace_content_digest",
+    "trace_workload_names",
+    "DEFAULT_MAX_STATIC",
+    "TraceOutcomes",
+    "TraceReplayWorkload",
+    "build_trace_workload",
+    "recommended_acb_scale",
+    "H2P_MIN_SHARE",
+    "H2P_TOP_K",
+    "PcProfile",
+    "TraceSummary",
+    "misprediction_concentration",
+    "replay_tage",
+    "summarize",
+]

@@ -1,0 +1,309 @@
+"""On-disk branch-trace formats: the native ``.rbt.gz`` container and a
+CBP-style text reader.
+
+The native format is a gzip stream holding a schema-versioned JSON header
+line followed by fixed-width packed records::
+
+    magic   b"RBTR"                       (4 bytes, inside the gzip stream)
+    header  JSON object + b"\\n"           ({"schema": 1, "records": N, ...})
+    records N x struct "<QQB"             (pc, target, taken) little-endian
+
+Everything a replay needs travels in the header (:class:`TraceMeta`):
+provenance, the downsampling window the converter applied, and the
+proportional ACB window scale (see :meth:`repro.acb.AcbConfig.reduced`)
+matched to the shortened slice.  Writes pin the gzip ``mtime`` to zero so
+identical content produces identical bytes — the committed mini-traces
+under ``tests/traces/`` are regenerable bit-for-bit.
+
+The CBP-style reader accepts the common text dump shape used by branch
+prediction championship tooling: one branch per line, ``pc outcome
+[target]`` with hex or decimal PCs and ``T``/``N``/``1``/``0`` outcomes.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterable, List, NamedTuple, Optional, Tuple
+
+#: Bump when the record layout or header semantics change; readers reject
+#: anything else (the converter is the migration path).
+TRACE_SCHEMA_VERSION = 1
+
+MAGIC = b"RBTR"
+
+_RECORD = struct.Struct("<QQB")
+RECORD_BYTES = _RECORD.size
+
+#: extensions understood by :func:`load_branch_trace`
+NATIVE_SUFFIXES = (".rbt", ".rbt.gz")
+TEXT_SUFFIXES = (".cbp", ".cbp.gz", ".txt", ".txt.gz")
+
+
+class BranchRecord(NamedTuple):
+    """One dynamic conditional-branch event."""
+
+    pc: int
+    taken: bool
+    target: int
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed, truncated, or schema-incompatible traces."""
+
+
+#: rough micro-ops per replayed branch event (filler + compare + branch +
+#: body amortized) — converts a window length into an ACB scale.
+AVG_UOPS_PER_EVENT = 7
+
+
+def recommended_acb_scale(n_records: int) -> int:
+    """Proportional ACB/Dynamo scaling for an *n_records*-event window.
+
+    The full-size mechanism observes 200K-instruction criticality windows
+    and 16K-instruction Dynamo epochs (Table II); a replayed window loops
+    every ``n_records * AVG_UOPS_PER_EVENT`` micro-ops, and the windows
+    shrink proportionally so criticality filtering and Dynamo both reach
+    verdicts within a few passes of the slice — the same proportionality
+    ``AcbConfig.reduced`` applies to the synthetic suite (EXPERIMENTS.md).
+    """
+    if n_records < 1:
+        raise ValueError("a trace window needs at least one record")
+    pass_instructions = n_records * AVG_UOPS_PER_EVENT
+    return max(1, min(50, round(200_000 / max(800, pass_instructions))))
+
+
+@dataclass
+class TraceMeta:
+    """Header of a native trace: provenance plus replay parameters."""
+
+    name: str
+    records: int
+    schema: int = TRACE_SCHEMA_VERSION
+    #: original source file and its event count, when converted
+    source: str = ""
+    source_records: int = 0
+    #: downsampling window applied by the converter ([offset, offset+records))
+    window_offset: int = 0
+    #: proportional ACB/Dynamo window scale for this slice length — the
+    #: replay harness runs ACB schemes with ``AcbConfig().reduced(acb_scale)``
+    acb_scale: int = 10
+    #: free-form provenance (converter version, generator parameters)
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def to_header(self) -> dict:
+        header = asdict(self)
+        header["schema"] = TRACE_SCHEMA_VERSION
+        return header
+
+    @classmethod
+    def from_header(cls, header: dict) -> "TraceMeta":
+        known = {f for f in cls.__dataclass_fields__}
+        fields_in = {k: v for k, v in header.items() if k in known}
+        try:
+            meta = cls(**fields_in)
+        except TypeError as exc:
+            raise TraceFormatError(f"bad trace header: {exc}") from None
+        if not isinstance(meta.records, int) or meta.records < 0:
+            raise TraceFormatError(f"bad record count: {meta.records!r}")
+        if not isinstance(meta.acb_scale, int) or meta.acb_scale < 1:
+            raise TraceFormatError(f"bad acb_scale: {meta.acb_scale!r}")
+        return meta
+
+
+# ----------------------------------------------------------------------
+# native container
+# ----------------------------------------------------------------------
+def write_trace(path: str, records: Iterable[BranchRecord], meta: TraceMeta) -> int:
+    """Write *records* under *meta* to *path*; returns the record count.
+
+    The header's ``records`` field is filled in from the actual count, so
+    callers may pass a generator.  Output bytes are a pure function of the
+    content (gzip mtime pinned to 0).
+    """
+    packed = io.BytesIO()
+    count = 0
+    pack = _RECORD.pack
+    for pc, taken, target in records:
+        packed.write(pack(pc, target, 1 if taken else 0))
+        count += 1
+    meta.records = count
+    header = json.dumps(meta.to_header(), sort_keys=True).encode()
+    dirname = os.path.dirname(path)
+    if dirname:
+        os.makedirs(dirname, exist_ok=True)
+    with open(path, "wb") as raw:
+        with gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0) as gz:
+            gz.write(MAGIC)
+            gz.write(header + b"\n")
+            gz.write(packed.getvalue())
+    return count
+
+
+def _open_maybe_gzip(path: str) -> IO[bytes]:
+    handle = open(path, "rb")
+    head = handle.read(2)
+    handle.seek(0)
+    if head == b"\x1f\x8b":
+        return gzip.GzipFile(fileobj=handle, mode="rb")  # type: ignore[return-value]
+    return handle
+
+
+def read_trace(path: str) -> Tuple[TraceMeta, List[BranchRecord]]:
+    """Read a native trace; raises :class:`TraceFormatError` when invalid."""
+    try:
+        with _open_maybe_gzip(path) as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise TraceFormatError(
+                    f"{path}: not a branch trace (magic {magic!r}, want {MAGIC!r})"
+                )
+            header_line = bytearray()
+            while True:
+                byte = handle.read(1)
+                if not byte:
+                    raise TraceFormatError(f"{path}: truncated header")
+                if byte == b"\n":
+                    break
+                header_line += byte
+                if len(header_line) > 1 << 16:
+                    raise TraceFormatError(f"{path}: unterminated header")
+            try:
+                header = json.loads(header_line.decode())
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise TraceFormatError(f"{path}: corrupt header: {exc}") from None
+            if not isinstance(header, dict):
+                raise TraceFormatError(f"{path}: header is not an object")
+            if header.get("schema") != TRACE_SCHEMA_VERSION:
+                raise TraceFormatError(
+                    f"{path}: schema {header.get('schema')!r} unsupported "
+                    f"(this reader speaks {TRACE_SCHEMA_VERSION})"
+                )
+            meta = TraceMeta.from_header(header)
+            payload = handle.read()
+    except (OSError, EOFError, zlib.error) as exc:
+        # gzip signals truncation as EOFError and interior corruption as
+        # zlib.error — both are "this file is broken" to a caller
+        raise TraceFormatError(f"{path}: unreadable: {exc}") from None
+    expected = meta.records * RECORD_BYTES
+    if len(payload) != expected:
+        raise TraceFormatError(
+            f"{path}: payload is {len(payload)} bytes, header promises "
+            f"{meta.records} records ({expected} bytes)"
+        )
+    records = [
+        BranchRecord(pc, bool(taken), target)
+        for pc, target, taken in _RECORD.iter_unpack(payload)
+    ]
+    return meta, records
+
+
+# ----------------------------------------------------------------------
+# CBP-style text traces
+# ----------------------------------------------------------------------
+def _parse_int(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+_TAKEN_TOKENS = {"t": True, "1": True, "n": False, "0": False}
+
+
+def read_cbp_text(path: str) -> List[BranchRecord]:
+    """Read a CBP-style text trace: ``pc outcome [target]`` per line.
+
+    Blank lines and ``#`` comments are skipped.  Outcomes are ``T``/``N``
+    (or ``1``/``0``); a missing target defaults to the branch's own pc —
+    the replay only needs the target to distinguish successor blocks, and
+    direction-only dumps are common.
+    """
+    records: List[BranchRecord] = []
+    try:
+        with _open_maybe_gzip(path) as handle:
+            for lineno, raw in enumerate(
+                io.TextIOWrapper(handle, encoding="utf-8"), start=1
+            ):
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: want `pc outcome [target]`, got {raw!r}"
+                    )
+                try:
+                    pc = _parse_int(parts[0])
+                    taken = _TAKEN_TOKENS[parts[1].lower()]
+                    target = _parse_int(parts[2]) if len(parts) > 2 else pc
+                except (KeyError, ValueError) as exc:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: unparsable branch event: {exc}"
+                    ) from None
+                records.append(BranchRecord(pc, taken, target))
+    except (OSError, EOFError, zlib.error) as exc:
+        raise TraceFormatError(f"{path}: unreadable: {exc}") from None
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(f"{path}: not a text trace: {exc}") from None
+    return records
+
+
+# ----------------------------------------------------------------------
+def _text_meta(path: str, records: List[BranchRecord]) -> TraceMeta:
+    """Synthesized header for a text trace (no native header to carry one)."""
+    return TraceMeta(
+        name=trace_stem(path),
+        records=len(records),
+        source=path,
+        acb_scale=recommended_acb_scale(len(records)) if records else 10,
+    )
+
+
+def load_branch_trace(path: str) -> Tuple[TraceMeta, List[BranchRecord]]:
+    """Load any supported trace; text traces get a synthesized meta."""
+    lowered = path.lower()
+    if lowered.endswith(NATIVE_SUFFIXES):
+        return read_trace(path)
+    if lowered.endswith(TEXT_SUFFIXES):
+        records = read_cbp_text(path)
+        return _text_meta(path, records), records
+    # unknown extension: try native first, fall back to text
+    try:
+        return read_trace(path)
+    except TraceFormatError:
+        records = read_cbp_text(path)
+        return _text_meta(path, records), records
+
+
+def trace_stem(path: str) -> str:
+    """Basename of *path* with every trace suffix stripped."""
+    stem = os.path.basename(path)
+    for suffix in (".gz", ".rbt", ".cbp", ".txt"):
+        if stem.lower().endswith(suffix):
+            stem = stem[: -len(suffix)]
+    return stem or "trace"
+
+
+def downsample(
+    records: List[BranchRecord], window: Optional[int], offset: int = 0
+) -> Tuple[List[BranchRecord], int]:
+    """Cut ``[offset, offset+window)`` out of *records*.
+
+    Returns ``(slice, applied_offset)``; a ``window`` of ``None`` (or one
+    at least as long as the trace) keeps everything.
+    """
+    if offset < 0:
+        raise ValueError(f"offset must be >= 0, got {offset}")
+    if window is not None and window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if offset >= len(records):
+        raise ValueError(
+            f"offset {offset} is past the end of the trace ({len(records)} records)"
+        )
+    if window is None or offset + window >= len(records):
+        return records[offset:], offset
+    return records[offset: offset + window], offset

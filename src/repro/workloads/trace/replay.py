@@ -1,0 +1,243 @@
+"""Trace replay: rebuild an engine-runnable workload from a branch trace.
+
+The cycle engine executes a static :class:`~repro.program.Program` whose
+conditional branches draw outcomes from behaviours — it cannot follow a
+trace file directly.  This module closes the gap by *reconstructing* a
+program from the trace:
+
+* every static branch in the trace becomes one **block**: filler micro-ops
+  (the instructions the trace elided), a compare, and the branch itself;
+* successor edges come from the trace — the next event after ``(pc, taken)``
+  tells us which block a direction leads to.  When both directions of a
+  branch lead to the same next branch the block is emitted as a Type-1
+  hammock (branch over a small body to a join), which is exactly the shape
+  the ACB learner predicates; otherwise it is a diamond whose arms jump to
+  their respective successor blocks;
+* each static branch gets a :class:`TraceOutcomes` behaviour replaying its
+  recorded outcome subsequence (wrapping at the end, in step with the
+  last-event → first-event successor edge, so the window loops).
+
+Because successor edges and outcome sequences both come from the same
+trace, a *consistent* trace (every ``(pc, direction)`` always followed by
+the same next branch — true of any trace captured from real control flow)
+replays with exactly the recorded interleaving: per-PC outcome sequences,
+execution frequencies, and global branch order are all preserved.  Traces
+with inconsistent edges (e.g. direction-only text dumps that elided
+indirect jumps) take the majority edge; the divergence count is reported
+on the workload.
+
+Recorded PCs survive as block identities: the engine's dense program PCs
+are mapped back through :attr:`TraceReplayWorkload.pc_map`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.program.builder import ProgramBuilder
+from repro.workloads.behaviors import BranchBehavior, Strided, WorkloadState
+from repro.workloads.trace.format import (
+    AVG_UOPS_PER_EVENT,
+    BranchRecord,
+    TraceMeta,
+    recommended_acb_scale,
+)
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "AVG_UOPS_PER_EVENT",
+    "DEFAULT_MAX_STATIC",
+    "TraceOutcomes",
+    "TraceReplayWorkload",
+    "build_trace_workload",
+    "recommended_acb_scale",
+]
+
+#: static-branch cap: traces with more distinct PCs keep the hottest ones
+#: (events at dropped PCs are filtered out, successors re-chained).
+DEFAULT_MAX_STATIC = 512
+
+_MASK = (1 << 63) - 1
+
+
+def _pc_hash(pc: int) -> int:
+    h = (pc * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03) & _MASK
+    h ^= h >> 29
+    return h
+
+
+class TraceOutcomes(BranchBehavior):
+    """Replays a fixed outcome sequence, wrapping at the end.
+
+    The cursor lives in ``WorkloadState.vars`` so ACB region rewinds (which
+    snapshot/restore the functional state) replay the same outcomes after a
+    divergence — replay stays deterministic under predication.
+    """
+
+    def __init__(self, name: str, outcomes: Sequence[bool]):
+        super().__init__(name)
+        if not outcomes:
+            raise ValueError(f"behaviour {name!r} needs at least one outcome")
+        self.outcomes = tuple(bool(o) for o in outcomes)
+
+    def outcome(self, st: WorkloadState) -> bool:
+        (idx,) = st.vars.get(self.name, (0,))
+        st.vars[self.name] = ((idx + 1) % len(self.outcomes),)
+        return self.outcomes[idx]
+
+
+@dataclass
+class TraceReplayWorkload(Workload):
+    """A :class:`Workload` reconstructed from a branch trace."""
+
+    meta: Optional[TraceMeta] = None
+    #: program branch pc -> recorded (trace) pc
+    pc_map: Dict[int, int] = field(default_factory=dict)
+    #: events whose recorded successor lost the majority vote for its edge
+    inconsistent_edges: int = 0
+    #: distinct static PCs dropped by the ``max_static`` cap
+    dropped_static: int = 0
+
+    @property
+    def acb_scale(self) -> int:
+        """ACB window-reduction scale the harness should run this with."""
+        return self.meta.acb_scale if self.meta is not None else 10
+
+    @property
+    def recorded_pcs(self) -> Tuple[int, ...]:
+        return tuple(sorted(set(self.pc_map.values())))
+
+
+# ----------------------------------------------------------------------
+# trace -> CFG
+# ----------------------------------------------------------------------
+def _filter_hottest(
+    records: Sequence[BranchRecord], max_static: int
+) -> Tuple[List[BranchRecord], int]:
+    """Keep only events at the *max_static* most frequent PCs."""
+    counts: Dict[int, int] = {}
+    for rec in records:
+        counts[rec.pc] = counts.get(rec.pc, 0) + 1
+    if len(counts) <= max_static:
+        return list(records), 0
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    kept = {pc for pc, _ in ranked[:max_static]}
+    filtered = [rec for rec in records if rec.pc in kept]
+    return filtered, len(counts) - max_static
+
+
+def _majority_edges(
+    records: Sequence[BranchRecord],
+) -> Tuple[Dict[Tuple[int, bool], int], int]:
+    """Successor block per ``(pc, direction)`` by majority vote.
+
+    The successor of event *i* is the PC of event *i+1*; the final event
+    wraps to the first so the replayed window forms a closed loop.
+    """
+    votes: Dict[Tuple[int, bool], Dict[int, int]] = {}
+    count = len(records)
+    for i, rec in enumerate(records):
+        succ = records[(i + 1) % count].pc
+        slot = votes.setdefault((rec.pc, rec.taken), {})
+        slot[succ] = slot.get(succ, 0) + 1
+    edges: Dict[Tuple[int, bool], int] = {}
+    inconsistent = 0
+    for key, slot in votes.items():
+        winner = max(slot.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        edges[key] = winner
+        inconsistent += sum(n for succ, n in slot.items() if succ != winner)
+    return edges, inconsistent
+
+
+def build_trace_workload(
+    meta: TraceMeta,
+    records: Sequence[BranchRecord],
+    name: Optional[str] = None,
+    max_static: int = DEFAULT_MAX_STATIC,
+) -> TraceReplayWorkload:
+    """Reconstruct a runnable workload from *records* (see module docs)."""
+    if not records:
+        raise ValueError(f"trace {meta.name!r} is empty — nothing to replay")
+    records, dropped = _filter_hottest(records, max_static)
+    edges, inconsistent = _majority_edges(records)
+
+    outcomes: Dict[int, List[bool]] = {}
+    for rec in records:
+        outcomes.setdefault(rec.pc, []).append(rec.taken)
+
+    behaviors: Dict[str, object] = {}
+    builder = ProgramBuilder(name or f"trace:{meta.name}")
+    entry = records[0].pc
+    # entry block first (execution starts at program pc 0), the rest in
+    # recorded-PC order for a deterministic, diffable layout.
+    order = [entry] + [pc for pc in sorted(outcomes) if pc != entry]
+
+    branch_pcs: Dict[int, int] = {}  # recorded pc -> program branch pc
+    for pc in order:
+        h = _pc_hash(pc)
+        bname = f"tr_{pc:x}"
+        behaviors[bname] = TraceOutcomes(bname, outcomes[pc])
+        taken_succ = edges.get((pc, True), pc)
+        nt_succ = edges.get((pc, False), pc)
+
+        builder.label(f"blk_{pc:x}")
+        # filler: the non-branch instructions the trace elided, on the
+        # synthetic suite's register conventions (serial chain in R1,
+        # independent ILP in R8-R11, memory value in R4).
+        builder.alu(dst=1, srcs=(1,), note=f"{bname}.chain")
+        for i in range(1 + h % 3):
+            reg = 8 + (h >> (4 * i)) % 4
+            builder.alu(dst=reg, srcs=(reg,), note=f"{bname}.ilp{i}")
+        if h % 4 == 0:
+            mname = f"{bname}_mem"
+            behaviors[mname] = Strided(
+                mname, base=(1 + h % 127) << 20, stride=64, span=1 << 14
+            )
+            builder.load(dst=4, srcs=(3,), behavior=mname, note=f"{bname}.load")
+        builder.compare(srcs=(1,), note=f"{bname}.cmp")
+
+        if taken_succ == nt_succ:
+            # both directions reach the same next branch: a Type-1 hammock
+            # whose body stands in for the fall-through code the taken
+            # direction skips.
+            branch_pcs[pc] = builder.cond_branch(
+                f"join_{pc:x}", behavior=bname, note=f"{bname}.branch"
+            )
+            body = 2 + (h >> 8) % 4
+            builder.alu(dst=2, srcs=(1,), note=f"{bname}.body0")
+            for i in range(1, body):
+                builder.alu(dst=2, srcs=(2,), note=f"{bname}.body{i}")
+            builder.label(f"join_{pc:x}")
+            builder.alu(dst=3, srcs=(2,), note=f"{bname}.join")
+            builder.jump(f"blk_{taken_succ:x}", note=f"{bname}.next")
+        else:
+            # directions diverge to different branches: a diamond whose
+            # arms leave for their respective successor blocks.
+            branch_pcs[pc] = builder.cond_branch(
+                f"tarm_{pc:x}", behavior=bname, note=f"{bname}.branch"
+            )
+            builder.alu(dst=2, srcs=(1,), note=f"{bname}.ntarm")
+            builder.jump(f"blk_{nt_succ:x}", note=f"{bname}.ntnext")
+            builder.label(f"tarm_{pc:x}")
+            builder.alu(dst=5, srcs=(1,), note=f"{bname}.tarm")
+            builder.jump(f"blk_{taken_succ:x}", note=f"{bname}.tnext")
+
+    workload = TraceReplayWorkload(
+        name=name or f"trace:{meta.name}",
+        category="TRACE",
+        program=builder.build(),
+        behaviors=behaviors,
+        seed=1,
+        description=(
+            f"replay of {meta.records} branch events, "
+            f"{len(outcomes)} static branches"
+            + (f" (from {meta.source})" if meta.source else "")
+        ),
+        paper_tag="trace",
+        meta=meta,
+        pc_map={prog_pc: pc for pc, prog_pc in branch_pcs.items()},
+        inconsistent_edges=inconsistent,
+        dropped_static=dropped,
+    )
+    return workload

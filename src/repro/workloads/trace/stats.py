@@ -1,0 +1,141 @@
+"""Trace characterization: the H2P statistics of an ingested trace.
+
+"Branch Prediction Is Not a Solved Problem" (PAPERS.md) measures that in
+real workloads a *handful of static branches* — the hard-to-predict (H2P)
+set — produce the overwhelming majority of TAGE mispredictions.  This
+module computes exactly that profile for a branch trace by replaying it
+through the repository's own :class:`~repro.branch.tage.TagePredictor`
+(trace order, non-speculative history), and it is the acceptance gate for
+ingest: a converted trace that does not concentrate its mispredictions the
+way the paper's measurements do is not exercising the ACB problem space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.branch.tage import TagePredictor
+from repro.workloads.trace.format import BranchRecord
+
+#: the H2P concentration the acceptance check asserts: the hottest
+#: ``H2P_TOP_K`` static branches must own at least ``H2P_MIN_SHARE`` of all
+#: TAGE mispredictions (cf. the paper's 64-PC coverage measurements).
+H2P_TOP_K = 32
+H2P_MIN_SHARE = 0.80
+
+
+@dataclass
+class PcProfile:
+    """Per-static-branch replay profile."""
+
+    executed: int = 0
+    taken: int = 0
+    mispredicted: int = 0
+
+    @property
+    def mispred_rate(self) -> float:
+        return self.mispredicted / self.executed if self.executed else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Summary statistics printed by the converter and asserted in tests."""
+
+    records: int
+    static_branches: int
+    taken_rate: float
+    tage_mispredicts: int
+    #: mispredictions per 1000 branch events under TAGE
+    tage_mpkb: float
+    #: fraction of TAGE mispredictions owned by the top-K static branches
+    top_k: int
+    top_k_share: float
+    #: (pc, executed, mispredicted) rows for the hottest misprediction PCs
+    hottest: List[Tuple[int, int, int]]
+
+    @property
+    def h2p_profile_ok(self) -> bool:
+        """Does the trace exhibit the paper's H2P concentration?"""
+        return self.top_k_share >= H2P_MIN_SHARE
+
+    def format(self) -> str:
+        lines = [
+            f"records          {self.records}",
+            f"static branches  {self.static_branches}",
+            f"taken rate       {self.taken_rate:.3f}",
+            f"TAGE mispredicts {self.tage_mispredicts} "
+            f"({self.tage_mpkb:.1f} per kilo-branch)",
+            f"top-{self.top_k} share     {self.top_k_share:.1%} of mispredictions "
+            f"({'H2P profile ok' if self.h2p_profile_ok else 'below H2P profile'})",
+            "hottest mispredicting branches:",
+        ]
+        for pc, executed, mispredicted in self.hottest[:8]:
+            lines.append(
+                f"  pc=0x{pc:x}  executed={executed}  mispred={mispredicted} "
+                f"({mispredicted / max(1, executed):.1%})"
+            )
+        return "\n".join(lines)
+
+
+def replay_tage(records: Sequence[BranchRecord]) -> Dict[int, PcProfile]:
+    """Replay *records* through a fresh TAGE, non-speculatively.
+
+    Standard trace-driven predictor methodology: predict, train, then push
+    the *actual* outcome into the global history (no wrong-path history to
+    repair because nothing speculates past a trace event).
+    """
+    tage = TagePredictor()
+    profiles: Dict[int, PcProfile] = {}
+    for pc, taken, _target in records:
+        profile = profiles.get(pc)
+        if profile is None:
+            profile = profiles[pc] = PcProfile()
+        prediction = tage.predict(pc)
+        mispredicted = prediction.taken != taken
+        tage.update(pc, taken, prediction.meta, mispredicted)
+        tage.push_outcome(pc, taken)
+        profile.executed += 1
+        if taken:
+            profile.taken += 1
+        if mispredicted:
+            profile.mispredicted += 1
+    return profiles
+
+
+def misprediction_concentration(
+    profiles: Dict[int, PcProfile], top_k: int = H2P_TOP_K
+) -> Tuple[float, List[Tuple[int, int, int]]]:
+    """Share of mispredictions owned by the *top_k* hottest PCs.
+
+    Returns ``(share, rows)`` with rows ``(pc, executed, mispredicted)``
+    sorted hottest-first.  A trace with zero mispredictions has share 1.0
+    (vacuously concentrated).
+    """
+    ranked = sorted(
+        profiles.items(), key=lambda kv: (kv[1].mispredicted, kv[0]), reverse=True
+    )
+    total = sum(p.mispredicted for _, p in ranked)
+    top = sum(p.mispredicted for _, p in ranked[:top_k])
+    share = top / total if total else 1.0
+    rows = [(pc, p.executed, p.mispredicted) for pc, p in ranked]
+    return share, rows
+
+
+def summarize(records: Sequence[BranchRecord], top_k: int = H2P_TOP_K) -> TraceSummary:
+    """Full characterization of a branch-event sequence."""
+    profiles = replay_tage(records)
+    share, rows = misprediction_concentration(profiles, top_k)
+    taken = sum(p.taken for p in profiles.values())
+    mispredicts = sum(p.mispredicted for p in profiles.values())
+    count = len(records)
+    return TraceSummary(
+        records=count,
+        static_branches=len(profiles),
+        taken_rate=taken / count if count else 0.0,
+        tage_mispredicts=mispredicts,
+        tage_mpkb=1000.0 * mispredicts / count if count else 0.0,
+        top_k=top_k,
+        top_k_share=share,
+        hottest=rows[:top_k],
+    )

@@ -2,8 +2,8 @@
 
 from dataclasses import replace
 
-from repro.acb import AcbScheme, GOOD, BAD, PAPER_TOTAL_BYTES, storage_report
-from repro.core import Core, SKYLAKE_LIKE
+from repro.acb import BAD, GOOD, PAPER_TOTAL_BYTES, AcbScheme, storage_report
+from repro.core import SKYLAKE_LIKE, Core
 from repro.harness.runner import reduced_acb_config
 from repro.workloads import HammockSpec, WorkloadSpec, build_workload
 from tests.conftest import h2p_hammock_workload, predictable_workload

@@ -8,7 +8,7 @@ from repro.baselines import (
     DmpScheme,
     profile_workload,
 )
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.workloads import HammockSpec, WorkloadSpec, build_workload
 from tests.conftest import h2p_hammock_workload, predictable_workload
 

@@ -83,7 +83,8 @@ class TestGShare:
 
 class TestTage:
     def test_learns_periodic_nearly_perfectly(self):
-        rates = train_inorder(TagePredictor(), [Periodic("p", (True, True, False, False, True))], 5000)
+        behaviors = [Periodic("p", (True, True, False, False, True))]
+        rates = train_inorder(TagePredictor(), behaviors, 5000)
         assert rates["p"] < 0.02
 
     def test_learns_correlation_through_history(self):

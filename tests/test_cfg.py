@@ -7,7 +7,6 @@ tested against the exact layouts the suite produces.
 import pytest
 
 from repro.program import (
-    ProgramBuilder,
     classify_hammock,
     find_guaranteed_reconvergence,
     find_reconvergence,

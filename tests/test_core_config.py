@@ -4,7 +4,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core import CoreConfig, SKYLAKE_LIKE, scaled
+from repro.core import SKYLAKE_LIKE, scaled
 
 
 class TestCoreConfig:

@@ -2,7 +2,7 @@
 
 import networkx as nx
 
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.criticality import (
     build_ddg,
     classify_mispredictions,

@@ -3,14 +3,14 @@
 from dataclasses import replace
 
 from repro.acb import (
-    AcbConfig,
-    AcbTable,
     BAD,
-    Dynamo,
     GOOD,
     LIKELY_BAD,
     LIKELY_GOOD,
     NEUTRAL,
+    AcbConfig,
+    AcbTable,
+    Dynamo,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Core, DeadlockError, SKYLAKE_LIKE, scaled
+from repro.core import SKYLAKE_LIKE, Core, DeadlockError, scaled
 from tests.conftest import chase_workload, h2p_hammock_workload, predictable_workload
 
 

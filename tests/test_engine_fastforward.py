@@ -7,10 +7,8 @@ optimization, across plain, memory-bound, and predicated runs.
 
 from dataclasses import replace
 
-import pytest
-
 from repro.acb import AcbScheme
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.harness.runner import reduced_acb_config
 from tests.conftest import chase_workload, h2p_hammock_workload, predictable_workload
 

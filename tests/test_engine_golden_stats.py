@@ -27,7 +27,7 @@ import os
 
 import pytest
 
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.harness.runner import SCHEME_FACTORIES
 from repro.validate.fuzz import random_spec
 from repro.workloads.generator import build_workload

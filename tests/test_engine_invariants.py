@@ -13,7 +13,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.acb import AcbScheme
 from repro.baselines import DhpScheme, DmpScheme
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.harness.runner import reduced_acb_config
 from repro.workloads import HammockSpec, WorkloadSpec, build_workload
 

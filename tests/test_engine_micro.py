@@ -7,8 +7,7 @@ flush recovery timing — and checks its cycle-level consequence.
 
 from dataclasses import replace
 
-from repro.core import Core, SKYLAKE_LIKE
-from repro.isa import UopClass
+from repro.core import SKYLAKE_LIKE, Core
 from repro.program import ProgramBuilder
 from repro.workloads import Bernoulli, Periodic, Strided, Workload
 

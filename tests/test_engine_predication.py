@@ -9,11 +9,10 @@ from typing import Optional
 
 import pytest
 
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.core.predication import PredicationPlan, PredicationScheme
-from repro.program import ProgramBuilder, find_reconvergence
-from repro.workloads import Bernoulli, HammockSpec, Workload, WorkloadSpec, build_workload
-from tests.conftest import h2p_hammock_workload
+from repro.program import find_reconvergence
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
 
 
 class AlwaysPredicate(PredicationScheme):

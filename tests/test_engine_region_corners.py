@@ -9,7 +9,7 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.acb import AcbScheme
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.core.predication import PredicationPlan, PredicationScheme
 from repro.harness.runner import reduced_acb_config
 from repro.program import ProgramBuilder

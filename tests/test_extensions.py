@@ -5,10 +5,10 @@ from dataclasses import replace
 
 import pytest
 
-from repro.acb import AcbConfig, AcbScheme, AcbTable, BAD, GOOD
+from repro.acb import BAD, GOOD, AcbConfig, AcbScheme, AcbTable
 from repro.acb.throttle import StallThrottle
 from repro.branch import PerceptronPredictor, make_predictor
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.harness.runner import reduced_acb_config
 from repro.workloads import Bernoulli, HammockSpec, Periodic, WorkloadSpec, \
     WorkloadState, build_workload

@@ -12,9 +12,9 @@ from repro.isa import (
     latency_of,
     port_group_of,
     reg_name,
+    registers,
 )
-from repro.isa.dyninst import DynInst, ROLE_BRANCH, ST_SQUASHED
-from repro.isa import registers
+from repro.isa.dyninst import ROLE_BRANCH, ST_SQUASHED, DynInst
 
 
 class TestRegisters:
@@ -49,7 +49,8 @@ class TestOpcodes:
         assert port_group_of(UopClass.STORE) == "store"
 
     def test_div_slowest_integer_op(self):
-        assert latency_of(UopClass.DIV) > latency_of(UopClass.MUL) > latency_of(UopClass.ALU)
+        assert (latency_of(UopClass.DIV) > latency_of(UopClass.MUL)
+                > latency_of(UopClass.ALU))
 
 
 class TestInstruction:

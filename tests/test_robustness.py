@@ -5,7 +5,7 @@ random stream.  Each key claim is checked across several functional seeds
 import pytest
 
 from repro.acb import AcbScheme
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.harness.runner import reduced_acb_config
 from repro.workloads import load_suite
 from tests.conftest import h2p_hammock_workload

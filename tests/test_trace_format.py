@@ -1,0 +1,250 @@
+"""Trace container round-trip, corruption rejection, and text ingest.
+
+The native ``.rbt.gz`` format (repro.workloads.trace.format) is the
+interchange point between the converter CLI and the replay harness; these
+tests pin its invariants: byte-identical round trips (the committed
+mini-traces must be regenerable bit-for-bit), loud rejection of anything
+malformed, and faithful parsing of CBP-style text dumps.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.workloads.trace import (
+    MAGIC,
+    RECORD_BYTES,
+    TRACE_SCHEMA_VERSION,
+    BranchRecord,
+    TraceFormatError,
+    TraceMeta,
+    downsample,
+    load_branch_trace,
+    read_cbp_text,
+    read_trace,
+    recommended_acb_scale,
+    trace_stem,
+    write_trace,
+)
+
+
+def sample_records(n: int = 64) -> list:
+    return [
+        BranchRecord(pc=0x400000 + 4 * i, taken=bool(i % 3), target=0x500000 + i)
+        for i in range(n)
+    ]
+
+
+def sample_meta(n: int) -> TraceMeta:
+    return TraceMeta(
+        name="sample", records=n, source="unit-test", source_records=n,
+        acb_scale=recommended_acb_scale(max(1, n)),
+    )
+
+
+class TestNativeRoundTrip:
+    def test_records_and_meta_survive(self, tmp_path):
+        records = sample_records(200)
+        path = str(tmp_path / "sample.rbt.gz")
+        count = write_trace(path, records, sample_meta(200))
+        assert count == 200
+        meta, back = read_trace(path)
+        assert back == records
+        assert meta.name == "sample"
+        assert meta.records == 200
+        assert meta.schema == TRACE_SCHEMA_VERSION
+        assert meta.acb_scale == recommended_acb_scale(200)
+
+    def test_rewrite_is_bit_identical(self, tmp_path):
+        records = sample_records(150)
+        a, b = str(tmp_path / "a.rbt.gz"), str(tmp_path / "b.rbt.gz")
+        write_trace(a, records, sample_meta(150))
+        write_trace(b, records, sample_meta(150))
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_generator_input_fills_count(self, tmp_path):
+        path = str(tmp_path / "gen.rbt.gz")
+        meta = sample_meta(0)
+        write_trace(path, iter(sample_records(33)), meta)
+        assert meta.records == 33
+        got, back = read_trace(path)
+        assert got.records == 33 and len(back) == 33
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = str(tmp_path / "empty.rbt.gz")
+        write_trace(path, [], sample_meta(0))
+        meta, records = read_trace(path)
+        assert meta.records == 0 and records == []
+
+    def test_64bit_pcs_survive(self, tmp_path):
+        records = [BranchRecord(0x7FFF_FFFF_FFFF_FFF0, True, (1 << 64) - 4)]
+        path = str(tmp_path / "wide.rbt.gz")
+        write_trace(path, records, sample_meta(1))
+        _, back = read_trace(path)
+        assert back == records
+
+
+class TestCorruptionRejection:
+    def _valid_bytes(self, tmp_path, n: int = 40) -> bytes:
+        path = str(tmp_path / "valid.rbt.gz")
+        write_trace(path, sample_records(n), sample_meta(n))
+        return open(path, "rb").read()
+
+    def _write(self, tmp_path, raw: bytes) -> str:
+        path = str(tmp_path / "corrupt.rbt.gz")
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write(tmp_path, gzip.compress(b"NOPE" + b"x" * 64))
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_trace(path)
+
+    def test_truncated_gzip_stream(self, tmp_path):
+        raw = self._valid_bytes(tmp_path)
+        path = self._write(tmp_path, raw[: len(raw) // 2])
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = self._write(tmp_path, gzip.compress(MAGIC + b'{"schema": 1'))
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_trace(path)
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = self._write(tmp_path, gzip.compress(MAGIC + b"not json\n"))
+        with pytest.raises(TraceFormatError, match="corrupt header"):
+            read_trace(path)
+
+    def test_unsupported_schema(self, tmp_path):
+        header = json.dumps({"schema": 99, "name": "x", "records": 0}).encode()
+        path = self._write(tmp_path, gzip.compress(MAGIC + header + b"\n"))
+        with pytest.raises(TraceFormatError, match="schema"):
+            read_trace(path)
+
+    def test_payload_shorter_than_promised(self, tmp_path):
+        header = json.dumps({"schema": 1, "name": "x", "records": 10}).encode()
+        payload = b"\x00" * (3 * RECORD_BYTES)
+        path = self._write(tmp_path, gzip.compress(MAGIC + header + b"\n" + payload))
+        with pytest.raises(TraceFormatError, match="payload"):
+            read_trace(path)
+
+    def test_negative_record_count(self, tmp_path):
+        header = json.dumps({"schema": 1, "name": "x", "records": -1}).encode()
+        path = self._write(tmp_path, gzip.compress(MAGIC + header + b"\n"))
+        with pytest.raises(TraceFormatError, match="record count"):
+            read_trace(path)
+
+    def test_bad_acb_scale(self, tmp_path):
+        header = json.dumps(
+            {"schema": 1, "name": "x", "records": 0, "acb_scale": 0}
+        ).encode()
+        path = self._write(tmp_path, gzip.compress(MAGIC + header + b"\n"))
+        with pytest.raises(TraceFormatError, match="acb_scale"):
+            read_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="unreadable"):
+            read_trace(str(tmp_path / "never-written.rbt.gz"))
+
+
+class TestCbpText:
+    def _write(self, tmp_path, text: str, name: str = "t.cbp") -> str:
+        path = str(tmp_path / name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        return path
+
+    def test_hex_and_decimal_with_outcome_tokens(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# comment line\n"
+            "0x400010 T 0x400050\n"
+            "4194384 N\n"
+            "0x400010 1 0x400050\n"
+            "0x400020 0 0x400010  # trailing comment\n"
+            "\n",
+        )
+        records = read_cbp_text(path)
+        assert records == [
+            BranchRecord(0x400010, True, 0x400050),
+            BranchRecord(4194384, False, 4194384),  # missing target -> own pc
+            BranchRecord(0x400010, True, 0x400050),
+            BranchRecord(0x400020, False, 0x400010),
+        ]
+
+    def test_gzipped_text(self, tmp_path):
+        path = str(tmp_path / "t.cbp.gz")
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+                gz.write(b"0x10 T 0x20\n0x20 N\n")
+        assert len(read_cbp_text(path)) == 2
+
+    def test_short_line_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0x400010\n")
+        with pytest.raises(TraceFormatError, match="pc outcome"):
+            read_cbp_text(path)
+
+    def test_bad_outcome_token_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0x400010 maybe\n")
+        with pytest.raises(TraceFormatError, match="unparsable"):
+            read_cbp_text(path)
+
+    def test_load_branch_trace_synthesizes_meta(self, tmp_path):
+        path = self._write(tmp_path, "0x10 T\n" * 300, name="dump.cbp")
+        meta, records = load_branch_trace(path)
+        assert len(records) == 300
+        assert meta.name == "dump"
+        assert meta.acb_scale == recommended_acb_scale(300)
+
+    def test_load_branch_trace_unknown_suffix_fallback(self, tmp_path):
+        native = str(tmp_path / "mystery.bin")
+        write_trace(native, sample_records(5), sample_meta(5))
+        meta, records = load_branch_trace(native)
+        assert meta.name == "sample" and len(records) == 5
+        text = self._write(tmp_path, "0x10 T\n", name="mystery2.bin")
+        _, records = load_branch_trace(text)
+        assert len(records) == 1
+
+
+class TestDownsampleAndHelpers:
+    def test_window_and_offset(self):
+        records = sample_records(100)
+        window, offset = downsample(records, 10, 20)
+        assert window == records[20:30] and offset == 20
+
+    def test_none_window_keeps_tail(self):
+        records = sample_records(10)
+        window, offset = downsample(records, None, 4)
+        assert window == records[4:] and offset == 4
+
+    def test_overlong_window_clamps(self):
+        records = sample_records(10)
+        window, _ = downsample(records, 500, 2)
+        assert window == records[2:]
+
+    def test_bad_arguments(self):
+        records = sample_records(10)
+        with pytest.raises(ValueError, match="offset"):
+            downsample(records, 5, -1)
+        with pytest.raises(ValueError, match="window"):
+            downsample(records, 0, 0)
+        with pytest.raises(ValueError, match="past the end"):
+            downsample(records, 5, 10)
+
+    def test_trace_stem(self):
+        assert trace_stem("/a/b/foo.rbt.gz") == "foo"
+        assert trace_stem("bar.cbp.gz") == "bar"
+        assert trace_stem("baz.txt") == "baz"
+        assert trace_stem("plain") == "plain"
+
+    def test_recommended_acb_scale_bounds(self):
+        with pytest.raises(ValueError):
+            recommended_acb_scale(0)
+        assert recommended_acb_scale(1) == 50        # clamped at the floor pass
+        assert recommended_acb_scale(10_000) == 3    # 70k uops per pass
+        assert recommended_acb_scale(10_000_000) == 1

@@ -1,0 +1,87 @@
+"""Golden SimStats gate for the committed mini-traces.
+
+Convert + replay must be deterministic end to end: the same committed
+trace bytes must produce bit-identical :class:`~repro.core.stats.SimStats`
+under every run — across processes, platforms, and refactors of the
+reconstruction pipeline.  This pins every counter for each mini-trace
+under ``baseline`` and ``acb``; the CI ``trace-ingest`` job replays the
+same matrix from a fresh checkout and diffs against these files.
+
+A legitimate change to the reconstruction (block layout, filler shape,
+scale policy) must regenerate deliberately::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_trace_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.workloads.trace import load_trace_workload
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "simstats_traces.json"
+)
+
+MINI_TRACES = ("h2p_loop", "gcc_like", "server_like", "mixed_small")
+CONFIGS = ("baseline", "acb")
+
+#: windows long enough for ACB to predicate on every mini-trace, short
+#: enough that the 4x2 matrix stays in unit-test time
+WARMUP = 4000
+MEASURE = 4000
+
+
+def simulate(name: str, config: str) -> dict:
+    """One deterministic replay run; JSON-normalized stats dict."""
+    workload = load_trace_workload(f"trace:{name}")
+    result = run_workload(workload, config, warmup=WARMUP, measure=MEASURE)
+    return json.loads(json.dumps(result.stats.to_dict()))
+
+
+def _regen_requested() -> bool:
+    return bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if _regen_requested():
+        data = {
+            name: {config: simulate(name, config) for config in CONFIGS}
+            for name in MINI_TRACES
+        }
+        with open(GOLDEN_PATH, "w") as handle:
+            json.dump(data, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_golden_covers_matrix(golden):
+    assert set(golden) == set(MINI_TRACES)
+    for name in MINI_TRACES:
+        assert set(golden[name]) == set(CONFIGS)
+
+
+@pytest.mark.parametrize("name", MINI_TRACES)
+def test_trace_simstats_bit_identical(golden, name):
+    for config in CONFIGS:
+        got = simulate(name, config)
+        want = golden[name][config]
+        assert got == want, (
+            f"SimStats drifted for trace={name} config={config!r}: either a "
+            f"trace file changed without regenerating (tools/gen_mini_traces.py "
+            f"+ REPRO_REGEN_GOLDEN=1) or the reconstruction pipeline changed "
+            f"architectural behavior"
+        )
+
+
+def test_acb_predicates_at_least_one_trace(golden):
+    assert any(
+        golden[name]["acb"]["predicated_instances"] > 0 for name in MINI_TRACES
+    )

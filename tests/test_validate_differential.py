@@ -18,7 +18,7 @@ from typing import Optional
 
 import pytest
 
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.core.predication import PredicationPlan, PredicationScheme
 from repro.validate import GoldenExecutor, diff_traces
 from repro.validate.differential import check_workload, run_config_trace

@@ -1,7 +1,7 @@
 """Tests for the Wish Branches baseline and the Markov branch behaviour."""
 
 from repro.baselines import DmpScheme, WishConfig, WishScheme
-from repro.core import Core, SKYLAKE_LIKE
+from repro.core import SKYLAKE_LIKE, Core
 from repro.workloads import (
     HammockSpec,
     Markov,

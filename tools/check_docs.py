@@ -147,7 +147,7 @@ def _cli_subcommands() -> set:
         cwd=REPO, capture_output=True, text=True,
         env=dict(os.environ, PYTHONPATH=os.path.join(REPO, "src")),
     )
-    match = re.search(r"\{([a-z,]+)\}", proc.stdout)
+    match = re.search(r"\{([a-z,-]+)\}", proc.stdout)
     return set(match.group(1).split(",")) if match else set()
 
 

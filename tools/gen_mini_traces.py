@@ -1,0 +1,363 @@
+#!/usr/bin/env python
+"""Regenerate the committed mini-traces under ``tests/traces/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/gen_mini_traces.py [--out tests/traces]
+
+Each mini-trace is produced by walking a synthetic control-flow graph whose
+branches carry explicit outcome processes, so the traces are *consistent*
+(every ``(pc, direction)`` pair always leads to the same next branch — the
+property a trace captured from real control flow has) and regenerable
+bit-for-bit (own xorshift RNG, gzip mtime pinned by the writer).
+
+The graphs are tuned to reproduce the H2P statistics documented in "Branch
+Prediction Is Not a Solved Problem" (PAPERS.md): almost every static branch
+is well-predicted (biased, periodic, or loop-exit processes), while a small
+set of hard Bernoulli branches sits on the hottest loop paths and therefore
+owns the overwhelming majority of TAGE mispredictions.  The tier-1 suite
+asserts the resulting top-32 concentration (tests/test_trace_workload.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.workloads.trace import (  # noqa: E402 (path bootstrap above)
+    BranchRecord,
+    TraceMeta,
+    recommended_acb_scale,
+    summarize,
+    write_trace,
+)
+
+_MASK = (1 << 64) - 1
+
+
+class _Rng:
+    """xorshift64* — deterministic across platforms and Python versions."""
+
+    def __init__(self, seed: int):
+        self._s = (seed ^ 0x9E3779B97F4A7C15) & _MASK or 1
+
+    def next(self) -> int:
+        s = self._s
+        s ^= (s >> 12) & _MASK
+        s ^= (s << 25) & _MASK
+        s ^= (s >> 27) & _MASK
+        self._s = s & _MASK
+        return (s * 2685821657736338717) & _MASK
+
+    def rand01(self) -> float:
+        return self.next() / float(1 << 64)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return lo + self.next() % (hi - lo + 1)
+
+    def choice(self, seq):
+        return seq[self.next() % len(seq)]
+
+
+# ----------------------------------------------------------------------
+# outcome processes
+# ----------------------------------------------------------------------
+@dataclass
+class _Branch:
+    """One static branch of the synthetic CFG."""
+
+    pc: int
+    taken_succ: int      # node index when taken
+    nt_succ: int         # node index when not taken
+    kind: str            # "biased" | "h2p" | "periodic" | "loop" | "phased"
+    p: float = 0.0
+    pattern: Tuple[bool, ...] = ()
+    trips: int = 0
+    jitter: int = 0
+    phase_len: int = 0
+    p2: float = 0.0
+    # mutable process state
+    idx: int = 0
+    count: int = 0
+    cur_trips: int = 0
+    phase_pos: int = 0
+
+    def outcome(self, rng: _Rng) -> bool:
+        if self.kind == "biased" or self.kind == "h2p":
+            return rng.rand01() < self.p
+        if self.kind == "periodic":
+            taken = self.pattern[self.idx]
+            self.idx = (self.idx + 1) % len(self.pattern)
+            return taken
+        if self.kind == "loop":
+            if self.cur_trips == 0:
+                lo = max(1, self.trips - self.jitter)
+                self.cur_trips = lo + (rng.randint(0, 2 * self.jitter)
+                                       if self.jitter else 0)
+            self.count += 1
+            if self.count >= self.cur_trips:
+                self.count = 0
+                self.cur_trips = 0
+                return False
+            return True
+        # phased: probability alternates between p and p2 every phase_len
+        p = self.p if (self.phase_pos // self.phase_len) % 2 == 0 else self.p2
+        self.phase_pos += 1
+        return rng.rand01() < p
+
+
+def _walk(
+    nodes: List[_Branch], events: int, rng: _Rng, entry: int = 0
+) -> List[BranchRecord]:
+    """Walk the CFG for *events* branch events, then continue to the next
+    return to *entry*.
+
+    Ending exactly where the walk began makes the trace a *closed loop*:
+    the replay's last-event → first-event wrap edge is then a true CFG
+    edge, so the reconstructed workload loops the recorded interleaving
+    indefinitely with zero inconsistent edges.
+    """
+    records: List[BranchRecord] = []
+    node = entry
+    limit = 3 * events + 100_000
+    while len(records) < events or node != entry:
+        branch = nodes[node]
+        taken = branch.outcome(rng)
+        records.append(
+            BranchRecord(branch.pc, taken, nodes[branch.taken_succ].pc)
+        )
+        node = branch.taken_succ if taken else branch.nt_succ
+        if len(records) > limit:
+            raise RuntimeError("walk never returned to the entry node")
+    return records
+
+
+# ----------------------------------------------------------------------
+# graph builders
+# ----------------------------------------------------------------------
+def _chain_pcs(rng: _Rng, count: int, base: int) -> List[int]:
+    """Plausible-looking, strictly increasing branch addresses."""
+    pcs = []
+    pc = base
+    for _ in range(count):
+        pc += 4 * rng.randint(1, 9)
+        pcs.append(pc)
+    return pcs
+
+
+def _predictable(
+    rng: _Rng, pc: int, i: int, taken_succ: int, nt_succ: int, hot: bool = True
+) -> _Branch:
+    """A well-predicted branch.
+
+    Hot (frequently executed) branches may carry short periodic patterns —
+    TAGE learns those outright.  Cold branches stay strongly biased: at a
+    few dozen executions a pattern never trains the tables and would smear
+    mispredictions across the static footprint, which is not how rarely
+    executed real code behaves.
+    """
+    if hot and rng.rand01() >= 0.6:
+        pattern = rng.choice(
+            ((True, False), (True, True, False), (False, False, True),
+             (True, False, False, False), (True,) * 5 + (False,))
+        )
+        return _Branch(pc, taken_succ, nt_succ, "periodic", pattern=pattern)
+    return _Branch(pc, taken_succ, nt_succ, "biased",
+                   p=rng.choice((0.01, 0.02, 0.97, 0.99)))
+
+
+def h2p_loop_graph(rng: _Rng) -> Tuple[List[_Branch], int]:
+    """A lammps-like kernel: one hot loop, two hard branches inside it."""
+    pcs = _chain_pcs(rng, 12, 0x401000)
+    nodes: List[_Branch] = []
+    # nodes 0..3: outer prologue, chained NT; biased
+    for i in range(4):
+        nodes.append(_predictable(rng, pcs[i], i, taken_succ=i + 1, nt_succ=i + 1))
+    # nodes 4..8: the loop body — two H2P hammock branches, two biased,
+    # closed by a loop branch back to node 4
+    nodes.append(_Branch(pcs[4], 5, 5, "h2p", p=0.44))
+    nodes.append(_predictable(rng, pcs[5], 5, 6, 6))
+    nodes.append(_Branch(pcs[6], 7, 7, "h2p", p=0.37))
+    nodes.append(_predictable(rng, pcs[7], 7, 8, 8))
+    nodes.append(_Branch(pcs[8], 4, 9, "loop", trips=24, jitter=5))
+    # nodes 9..11: epilogue returning to the prologue
+    nodes.append(_predictable(rng, pcs[9], 9, 10, 10))
+    nodes.append(_Branch(pcs[10], 11, 11, "biased", p=0.03))
+    nodes.append(_Branch(pcs[11], 0, 0, "biased", p=0.97))
+    return nodes, 0
+
+
+def _module_graph(
+    rng: _Rng,
+    modules: int,
+    branches_per: Tuple[int, int],
+    h2p_hot: int,
+    base: int,
+    phased: bool = False,
+) -> Tuple[List[_Branch], int]:
+    """Several straight-line 'functions' strung on a hot dispatch loop.
+
+    Each module is a chain of mostly-predictable branches; ``h2p_hot``
+    hard branches are injected into the modules guarded by the hottest
+    loop (the first one, which iterates many times per dispatch).
+    """
+    nodes: List[_Branch] = []
+    module_entries: List[int] = []
+    for m in range(modules):
+        count = rng.randint(*branches_per)
+        pcs = _chain_pcs(rng, count, base + (m << 16))
+        start = len(nodes)
+        module_entries.append(start)
+        hot = m == 0
+        for i in range(count):
+            here = start + i
+            nxt = here + 1  # patched for the last node below
+            if rng.rand01() < 0.25 and i + 2 < count:
+                # forward skip: taken jumps over the next branch
+                nodes.append(
+                    _Branch(pcs[i], here + 2, nxt, "biased",
+                            p=rng.choice((0.02, 0.98)))
+                )
+            else:
+                nodes.append(_predictable(rng, pcs[i], i, nxt, nxt, hot=hot))
+        # close the module with a loop branch: the first module is the hot
+        # inner loop; cold modules run straight through (single trip, i.e.
+        # an always-not-taken close — what cold code looks like to TAGE)
+        if hot:
+            trips, jitter = rng.randint(45, 60), 6
+        else:
+            trips, jitter = 1, 0
+        nodes.append(
+            _Branch(base + (m << 16) + 0xFFF0, start,
+                    len(nodes) + 1, "loop", trips=trips, jitter=jitter)
+        )
+    # dispatch: the final node of the last module wraps to module 0; other
+    # module exits chain onward
+    for m in range(modules):
+        exit_idx = (module_entries[m + 1] - 1) if m + 1 < modules else len(nodes) - 1
+        nodes[exit_idx].nt_succ = module_entries[m + 1] if m + 1 < modules else 0
+    # inject the H2P set into the hot module's chain
+    hot_start = module_entries[0]
+    hot_end = module_entries[1] - 1 if modules > 1 else len(nodes) - 1
+    hot_span = max(1, hot_end - hot_start - 1)
+    for k in range(h2p_hot):
+        idx = hot_start + 1 + (k * hot_span) // max(1, h2p_hot)
+        node = nodes[idx]
+        if phased and k % 3 == 2:
+            nodes[idx] = _Branch(node.pc, node.taken_succ, node.nt_succ, "phased",
+                                 p=0.45, p2=0.05, phase_len=rng.randint(300, 700))
+        else:
+            nodes[idx] = _Branch(node.pc, node.taken_succ, node.nt_succ, "h2p",
+                                 p=0.30 + 0.02 * k)
+    return nodes, 0
+
+
+# ----------------------------------------------------------------------
+def _native(path: str, name: str, records: List[BranchRecord], notes: str) -> None:
+    meta = TraceMeta(
+        name=name,
+        records=len(records),
+        source=f"tools/gen_mini_traces.py:{name}",
+        source_records=len(records),
+        acb_scale=recommended_acb_scale(len(records)),
+        notes=notes,
+    )
+    write_trace(path, records, meta)
+
+
+def _cbp_text(path: str, records: List[BranchRecord]) -> None:
+    with open(path, "wb") as raw:
+        with gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0) as gz:
+            gz.write(b"# CBP-style text dump: pc outcome target\n")
+            for pc, taken, target in records:
+                line = f"0x{pc:x} {'T' if taken else 'N'} 0x{target:x}\n"
+                gz.write(line.encode())
+
+
+TRACES = ("h2p_loop", "gcc_like", "server_like", "mixed_small")
+
+
+def generate(out_dir: str, only: Optional[List[str]] = None) -> Dict[str, str]:
+    os.makedirs(out_dir, exist_ok=True)
+    selected = set(only or TRACES)
+    written: Dict[str, str] = {}
+
+    if "h2p_loop" in selected:
+        rng = _Rng(0x51CB)
+        nodes, entry = h2p_loop_graph(rng)
+        records = _walk(nodes, 6000, rng, entry)
+        path = os.path.join(out_dir, "h2p_loop.rbt.gz")
+        _native(path, "h2p_loop", records,
+                "one hot loop, two hard hammock branches (lammps-like)")
+        written["h2p_loop"] = path
+
+    if "gcc_like" in selected:
+        rng = _Rng(0x6CC1)
+        nodes, entry = _module_graph(
+            rng, modules=14, branches_per=(10, 22), h2p_hot=8, base=0x400000
+        )
+        records = _walk(nodes, 9000, rng, entry)
+        path = os.path.join(out_dir, "gcc_like.rbt.gz")
+        _native(path, "gcc_like", records,
+                "many static branches, H2P set on the hot inner module")
+        written["gcc_like"] = path
+
+    if "server_like" in selected:
+        rng = _Rng(0x5E12)
+        nodes, entry = _module_graph(
+            rng, modules=22, branches_per=(12, 24), h2p_hot=12,
+            base=0x7F0000000000, phased=True,
+        )
+        records = _walk(nodes, 16000, rng, entry)
+        path = os.path.join(out_dir, "server_like.rbt.gz")
+        _native(path, "server_like", records,
+                "wide static footprint, phased H2P branches (server-like)")
+        written["server_like"] = path
+
+    if "mixed_small" in selected:
+        rng = _Rng(0x3141)
+        nodes, entry = _module_graph(
+            rng, modules=6, branches_per=(8, 14), h2p_hot=5, base=0x10000
+        )
+        records = _walk(nodes, 4000, rng, entry)
+        path = os.path.join(out_dir, "mixed_small.cbp.gz")
+        _cbp_text(path, records)
+        written["mixed_small"] = path
+
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join("tests", "traces"),
+                        help="output directory (default: tests/traces)")
+    parser.add_argument("--only", nargs="*", choices=TRACES,
+                        help="subset of traces to regenerate")
+    args = parser.parse_args(argv)
+    written = generate(args.out, args.only)
+    for name, path in written.items():
+        if path.endswith(".rbt.gz"):
+            from repro.workloads.trace import read_trace
+
+            _, records = read_trace(path)
+        else:
+            from repro.workloads.trace import read_cbp_text
+
+            records = read_cbp_text(path)
+        summary = summarize(records)
+        size = os.path.getsize(path)
+        print(f"{path} ({size} bytes)")
+        print("  " + summary.format().replace("\n", "\n  "))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
