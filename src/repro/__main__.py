@@ -57,8 +57,9 @@ from repro.harness import experiments, format_table, pct
 from repro.harness.cache import ResultCache, set_active_cache
 from repro.harness.parallel import session_manifests
 from repro.harness.reporting import summarize_manifests
-from repro.harness.runner import SCHEME_FACTORIES, run_workload
+from repro.harness.runner import SCHEME_FACTORIES, run_workload, split_config
 from repro.workloads import categories, suite_names
+from repro.workloads.frontier import is_frontier_name
 from repro.workloads.trace import is_trace_name, resolve_trace_path
 
 EXPERIMENTS = {
@@ -69,6 +70,7 @@ EXPERIMENTS = {
     "fig6-traces": experiments.fig6_traces_summary,
     "fig7": experiments.fig7_correlation,
     "fig8": experiments.fig8_vs_dmp,
+    "fig8-frontier": experiments.fig8_frontier,
     "fig9": experiments.fig9_dmp_pbh,
     "fig10": experiments.fig10_alloc_stalls,
     "fig11": experiments.fig11_vs_dhp,
@@ -88,12 +90,36 @@ def _workload_ref(name: str) -> str:
         except KeyError as exc:
             raise argparse.ArgumentTypeError(str(exc).strip("'\"")) from None
         return name
-    if name in suite_names():
+    if name in suite_names() or is_frontier_name(name):
         return name
     raise argparse.ArgumentTypeError(
-        f"unknown workload {name!r}: not a suite workload (see `repro suite`) "
-        f"and not a trace:<name-or-path> reference"
+        f"unknown workload {name!r}: not a suite workload (see `repro suite`), "
+        f"not a frontier workload, and not a trace:<name-or-path> reference"
     )
+
+
+def _config_ref(name: str) -> str:
+    """argparse type: a configuration name, optionally ``@<predictor>``.
+
+    ``choices=`` can't express the open ``scheme@predictor`` product, so
+    ``run``/``trace``/``compare`` validate through the same
+    :func:`split_config` convention the harness uses.
+    """
+    scheme, predictor = split_config(name)
+    if scheme not in SCHEME_FACTORIES:
+        raise argparse.ArgumentTypeError(
+            f"unknown config {scheme!r}; choose from {sorted(SCHEME_FACTORIES)} "
+            f"(optionally suffixed '@<predictor>', e.g. acb@bullseye)"
+        )
+    if predictor is not None:
+        from repro.branch import PREDICTORS
+
+        if predictor not in PREDICTORS:
+            raise argparse.ArgumentTypeError(
+                f"unknown predictor {predictor!r}; "
+                f"choose from {sorted(PREDICTORS)}"
+            )
+    return name
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -226,7 +252,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     core_cfg = dc_replace(scaled(args.scale, SKYLAKE_LIKE), trace=trace_cfg)
     scheme = scheme_for(workload, args.config)
-    predictor = "oracle" if args.config == "oracle-bp" else None
+    scheme_name, predictor = split_config(args.config)
+    if scheme_name == "oracle-bp":
+        predictor = "oracle"
     started = time.perf_counter()
     core = Core(workload, core_cfg, scheme=scheme, predictor=predictor)
     stats = core.run_window(args.warmup, args.measure)
@@ -413,7 +441,9 @@ def main(argv=None) -> int:
     p_run = sub.add_parser("run", help="simulate one workload")
     p_run.add_argument("workload", type=_workload_ref, metavar="WORKLOAD",
                        help="suite workload or trace:<name-or-path>")
-    p_run.add_argument("--config", default="acb", choices=sorted(SCHEME_FACTORIES))
+    p_run.add_argument("--config", default="acb", type=_config_ref,
+                       help="configuration name, optionally @<predictor> "
+                            "(e.g. acb@bullseye)")
     p_run.add_argument("--scale", type=int, default=1)
     p_run.set_defaults(func=_cmd_run)
 
@@ -441,8 +471,10 @@ def main(argv=None) -> int:
                        help="first seed of the campaign")
     p_val.add_argument("--budget", type=_parse_budget, default=None,
                        metavar="TIME", help="wall-clock budget, e.g. 120s or 2m")
-    p_val.add_argument("--configs", default="baseline,acb",
-                       help="comma-separated timing configurations to check")
+    p_val.add_argument("--configs",
+                       default="baseline,acb,acb-dmp-reconv,acb@bullseye",
+                       help="comma-separated timing configurations to check "
+                            "(scheme names, optionally @<predictor>)")
     p_val.add_argument("--instructions", type=int, default=1200,
                        help="architectural instructions per program")
     p_val.add_argument("--repro-dir", default=".repro_failures",
@@ -458,7 +490,8 @@ def main(argv=None) -> int:
     )
     p_trc.add_argument("workload", type=_workload_ref, metavar="WORKLOAD",
                        help="suite workload or trace:<name-or-path>")
-    p_trc.add_argument("--config", default="acb", choices=sorted(SCHEME_FACTORIES))
+    p_trc.add_argument("--config", default="acb", type=_config_ref,
+                       help="configuration name, optionally @<predictor>")
     p_trc.add_argument("--scale", type=int, default=1)
     p_trc.add_argument("--warmup", type=int, default=3000,
                        help="warm-up instructions before the traced window")
@@ -507,7 +540,8 @@ def main(argv=None) -> int:
     p_bench.add_argument("--out", default=None, metavar="FILE",
                          help="report path (default: BENCH_<tag>.json)")
     p_bench.add_argument("--groups", nargs="*", metavar="GROUP",
-                         help="subset of target groups (fig6, scheme, micro)")
+                         help="subset of target groups "
+                              "(fig6, scheme, trace, frontier, micro)")
     p_bench.add_argument("--compare", default=None, metavar="BASELINE",
                          help="earlier BENCH_*.json to compare against")
     p_bench.add_argument("--threshold", type=float, default=1.5,

@@ -6,6 +6,12 @@ Public API map (paper section → class):
 * Section III-B, convergence learning — :class:`LearningTable`
   (:class:`ConvergenceResult`, the Figure 3 types, the Figure 4
   backward-branch transform via :func:`effective_taken`)
+* beyond the paper, dynamic merge-point learning — :class:`MergePointTable`
+  (``repro.acb.reconv``): a DMP-style retired-stream reconvergence
+  detector selectable as the scheme's learning backend
+  (``AcbConfig(learning_backend="dmp")``, the harness's
+  ``acb-dmp-reconv`` variant); accepts Type-3+ region shapes the static
+  fetch-stream learner must reject — see docs/frontier.md
 * Section III-B, learned metadata + Equation 1 confidence —
   :class:`AcbTable` / :class:`AcbEntry`
 * Section III-B, convergence confidence — :class:`TrackingTable`
@@ -37,6 +43,7 @@ from repro.acb.config import PAPER_DEFAULT, REDUCED_DEFAULT, AcbConfig
 from repro.acb.critical_table import CriticalTable
 from repro.acb.dynamo import Dynamo
 from repro.acb.learning import ConvergenceResult, LearningTable, effective_taken
+from repro.acb.reconv import MergePointTable
 from repro.acb.scheme import AcbScheme
 from repro.acb.storage import PAPER_TOTAL_BYTES, storage_report
 from repro.acb.throttle import StallThrottle
@@ -49,6 +56,7 @@ __all__ = [
     "CriticalTable",
     "ConvergenceResult",
     "LearningTable",
+    "MergePointTable",
     "effective_taken",
     "AcbEntry",
     "AcbTable",

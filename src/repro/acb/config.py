@@ -31,6 +31,20 @@ class AcbConfig:
 
     # --- convergence learning (Section III-B) ---------------------------
     learning_limit: int = 40            # N: instruction scan limit
+    #: which convergence learner feeds the ACB Table: ``"fetch"`` is the
+    #: paper's single-entry fetch-stream scanner
+    #: (:class:`~repro.acb.learning.LearningTable`); ``"dmp"`` is the
+    #: DMP-style merge-point table trained from the retired stream
+    #: (:class:`~repro.acb.reconv.MergePointTable`), able to learn Type-3+
+    #: shapes the static scanner rejects.
+    learning_backend: str = "fetch"
+
+    # --- dynamic merge-point learning (``learning_backend="dmp"``) -------
+    merge_entries: int = 16             # branches learned concurrently
+    merge_path_limit: int = 96          # retired PCs recorded per path
+    merge_confidence: int = 4           # consecutive confirmations to promote
+    merge_max_fails: int = 4            # misses before the branch is dropped
+    merge_stack_depth: int = 8          # concurrent recording frames
 
     # --- ACB table / criticality confidence -----------------------------
     acb_sets: int = 16
@@ -73,6 +87,10 @@ class AcbConfig:
     def __post_init__(self):
         if self.throttle not in ("dynamo", "stalls"):
             raise ValueError(f"unknown throttle {self.throttle!r}")
+        if self.learning_backend not in ("fetch", "dmp"):
+            raise ValueError(
+                f"unknown learning backend {self.learning_backend!r}"
+            )
 
     def reduced(self, scale: int = 10) -> "AcbConfig":
         """Shrink instruction-count windows by *scale* for short traces."""

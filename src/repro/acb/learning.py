@@ -91,6 +91,13 @@ class LearningTable:
         self.limit = limit
         self.on_converged = on_converged
         self.on_failed = on_failed
+        #: why the most recent episode failed (diagnostics; survives reset):
+        #: ``"wrapped"`` — the scanned path hit a new instance of the branch
+        #: without converging; ``"t3_scan_exhausted"`` — the Type-3 taken
+        #: path ran out of scan budget with no back-Jumper;
+        #: ``"validate_exhausted"`` — a Type-3 candidate was never reached
+        #: on the validation path.
+        self.last_fail_reason = ""
         self.reset()
 
     def reset(self) -> None:
@@ -191,7 +198,7 @@ class LearningTable:
             if self.stage == STAGE_T12:
                 self._advance_stage()
             else:
-                self._fail()
+                self._fail("wrapped")
 
     # ------------------------------------------------------------------
     def _scan(self, dyn: DynInst) -> None:
@@ -234,7 +241,7 @@ class LearningTable:
             self.phase = WAIT_SECOND
             return
         if self.count >= self.limit:
-            self._fail()
+            self._fail("t3_scan_exhausted")
 
     def _scan_validate(self, dyn: DynInst) -> None:
         """Confirm the candidate reconvergence point on the other path."""
@@ -246,7 +253,7 @@ class LearningTable:
             if self.stage == STAGE_T12:
                 self._advance_stage()
             else:
-                self._fail()
+                self._fail("validate_exhausted")
 
     # ------------------------------------------------------------------
     def _advance_stage(self) -> None:
@@ -272,8 +279,9 @@ class LearningTable:
         if callback is not None:
             callback(result)
 
-    def _fail(self) -> None:
+    def _fail(self, reason: str = "exhausted") -> None:
         pc = self.branch_pc
+        self.last_fail_reason = reason
         callback = self.on_failed
         self.reset()
         if callback is not None:

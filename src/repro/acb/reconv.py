@@ -1,0 +1,292 @@
+"""Merge-Point Table: dynamic reconvergence detection from the retired stream.
+
+An alternative ``repro.acb.learning`` backend modelled on Dynamic Merge
+Point Prediction (Pruett & Patt, see PAPERS.md): instead of scanning the
+*fetch* stream for the compiler-idiom convergence types of Figure 3, the
+table records the *retired* control-flow paths that follow each direction
+of a candidate branch and picks the earliest program counter common to
+both — the dynamic merge point.  Because the retired stream is
+architectural, the detector is immune to wrong-path pollution and needs no
+:meth:`abort_scan` on flushes, and because it makes no assumption about
+branch/Jumper idioms it can learn merge points for region shapes the
+static hammock learner must reject (loop-bodied arms, far multi-exit
+joins — the Type-3+ space the paper defers to future work).
+
+The structure is a small multi-entry table (the static learner is
+single-entry):
+
+* **Learning** — a bounded stack of *recording frames* opens one frame per
+  retired instance of a tracked branch and appends every subsequently
+  retired PC (up to ``path_limit``).  A frame finalizes when it fills or
+  when its branch retires again.  Once one path per direction is recorded,
+  the candidate merge point is the common PC minimizing the later of its
+  two path positions (ties broken toward the smaller PC).
+* **Verifying** — subsequent frames must contain the candidate;
+  ``confidence`` consecutive confirmations promote it (the entry converges
+  and reports through the same :class:`ConvergenceResult` callback as the
+  fetch-stream learner), a single miss restarts learning, and
+  ``max_fails`` total misses evict the branch as unlearnable.
+
+The convergence type reported back re-uses the paper's Figure 3
+vocabulary so the downstream ACB Table/engine mechanics are unchanged:
+merge == target → Type 1, past the target → Type 2, between branch and
+target → Type 3 (fetch the taken side first).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.acb.learning import IDLE, ConvergenceResult
+
+#: entry states
+LEARN = 0
+VERIFY = 1
+
+#: bits budgeted per stored program counter (storage model only).
+_PC_BITS = 30
+
+
+class _MergeEntry:
+    """Per-branch learning state."""
+
+    __slots__ = (
+        "pc", "target", "skip_far", "state",
+        "taken_path", "nt_path", "candidate", "body_size",
+        "conf", "fails",
+    )
+
+    def __init__(self, pc: int, target: int, skip_far: bool):
+        self.pc = pc
+        self.target = target
+        self.skip_far = skip_far
+        self.state = LEARN
+        self.taken_path: Optional[tuple] = None
+        self.nt_path: Optional[tuple] = None
+        self.candidate = -1
+        self.body_size = 0
+        self.conf = 0
+        self.fails = 0
+
+
+class _Frame:
+    """One in-flight recording of the retired path after a branch instance."""
+
+    __slots__ = ("pc", "taken", "path")
+
+    def __init__(self, pc: int, taken: bool):
+        self.pc = pc
+        self.taken = taken
+        self.path: List[int] = []
+
+
+class MergePointTable:
+    """Multi-entry dynamic merge-point learner over the retired stream.
+
+    Drop-in replacement for :class:`~repro.acb.learning.LearningTable` from
+    the scheme's point of view: same ``load``/``busy``/``abort_scan``
+    surface and the same ``on_converged``/``on_failed`` callbacks, but fed
+    by :meth:`observe_retire` instead of fetch-stream ``observe``.  The
+    constant :attr:`phase` (= IDLE) keeps the scheme's per-fetch fast path
+    from calling into it at all.
+    """
+
+    #: never scans the fetch stream — the scheme's ``observe_fetch`` gate
+    #: (``phase != IDLE``) therefore skips this backend for free.
+    phase = IDLE
+
+    def __init__(
+        self,
+        entries: int = 16,
+        path_limit: int = 96,
+        confidence: int = 4,
+        max_fails: int = 4,
+        stack_depth: int = 8,
+        on_converged: Optional[Callable[[ConvergenceResult], None]] = None,
+        on_failed: Optional[Callable[[int], None]] = None,
+    ):
+        self.entries = entries
+        self.path_limit = path_limit
+        self.confidence = confidence
+        self.max_fails = max_fails
+        self.stack_depth = stack_depth
+        self.on_converged = on_converged
+        self.on_failed = on_failed
+        self.table: Dict[int, _MergeEntry] = {}
+        self.frames: List[_Frame] = []
+        # diagnostics
+        self.evictions = 0
+        self.frames_recorded = 0
+
+    def reset(self) -> None:
+        self.table.clear()
+        self.frames.clear()
+
+    # ------------------------------------------------------------------
+    # LearningTable-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """The table is multi-entry: it can always accept a new branch."""
+        return False
+
+    def load(self, branch_pc: int, target: int, skip_type1: bool = False) -> None:
+        """Begin (or continue) learning the branch at *branch_pc* → *target*.
+
+        With *skip_type1* the candidate must lie strictly past the branch
+        target — the far-reconvergence re-learning mode of the B1
+        enhancement, mapped onto dynamic merge points.
+        """
+        if target <= branch_pc:
+            # Backward branches reconverge at the loop exit, which the
+            # region mechanics cannot predicate anyway (the paper learns
+            # them only via the Figure 4 transform, for table reuse).
+            # Reject immediately rather than occupying an entry.
+            if self.on_failed is not None:
+                self.on_failed(branch_pc)
+            return
+        entry = self.table.get(branch_pc)
+        if entry is not None:
+            if skip_type1 and not entry.skip_far:
+                # restart in far mode: the old candidate is the point that
+                # just diverged, so everything learned so far is stale.
+                self.table[branch_pc] = _MergeEntry(branch_pc, target, True)
+            return
+        if len(self.table) >= self.entries:
+            # evict the oldest entry (insertion order): bounded hardware.
+            victim = next(iter(self.table))
+            del self.table[victim]
+            self.frames = [f for f in self.frames if f.pc != victim]
+            self.evictions += 1
+        self.table[branch_pc] = _MergeEntry(branch_pc, target, skip_type1)
+
+    def abort_scan(self) -> None:
+        """Flush hook: the retired stream is architectural — nothing to do."""
+
+    # ------------------------------------------------------------------
+    # Training feed: the retired instruction stream
+    # ------------------------------------------------------------------
+    def observe_retire(self, pc: int, is_cond_branch: bool, taken: bool) -> None:
+        """Feed one retired instruction (architectural order)."""
+        frames = self.frames
+        if frames:
+            done: List[_Frame] = []
+            for frame in frames:
+                if is_cond_branch and pc == frame.pc:
+                    # a new instance of the same branch: the recorded path
+                    # wrapped without revisiting the merge point candidate
+                    done.append(frame)
+                    continue
+                frame.path.append(pc)
+                if len(frame.path) >= self.path_limit:
+                    done.append(frame)
+            if done:
+                self.frames = [f for f in frames if f not in done]
+                for frame in done:
+                    self._finalize(frame)
+        if (
+            is_cond_branch
+            and pc in self.table
+            and len(self.frames) < self.stack_depth
+        ):
+            self.frames.append(_Frame(pc, taken))
+
+    # ------------------------------------------------------------------
+    def _finalize(self, frame: _Frame) -> None:
+        entry = self.table.get(frame.pc)
+        if entry is None:
+            return
+        self.frames_recorded += 1
+        if entry.state == LEARN:
+            if frame.taken:
+                if entry.taken_path is None:
+                    entry.taken_path = tuple(frame.path)
+            elif entry.nt_path is None:
+                entry.nt_path = tuple(frame.path)
+            if entry.taken_path is not None and entry.nt_path is not None:
+                self._pick_candidate(entry)
+        else:
+            self._verify(entry, frame)
+
+    def _pick_candidate(self, entry: _MergeEntry) -> None:
+        """Earliest common PC of the two recorded paths (min-max position)."""
+        taken_pos: Dict[int, int] = {}
+        for i, pc in enumerate(entry.taken_path):
+            if pc not in taken_pos:
+                taken_pos[pc] = i
+        floor = entry.target if entry.skip_far else entry.pc
+        best_pc = -1
+        best_key = None
+        seen = set()
+        for j, pc in enumerate(entry.nt_path):
+            if pc in seen:
+                continue
+            seen.add(pc)
+            i = taken_pos.get(pc)
+            if i is None or pc <= floor:
+                continue
+            key = (max(i, j), pc)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_pc = pc
+        if best_pc < 0:
+            self._miss(entry)
+            return
+        i, j = taken_pos[best_pc], entry.nt_path.index(best_pc)
+        entry.candidate = best_pc
+        entry.body_size = max(1, i + j)
+        entry.conf = 0
+        entry.state = VERIFY
+
+    def _verify(self, entry: _MergeEntry, frame: _Frame) -> None:
+        if entry.candidate in frame.path:
+            entry.conf += 1
+            if entry.conf >= self.confidence:
+                self._converged(entry)
+        else:
+            self._miss(entry)
+
+    def _miss(self, entry: _MergeEntry) -> None:
+        entry.fails += 1
+        if entry.fails >= self.max_fails:
+            del self.table[entry.pc]
+            self.frames = [f for f in self.frames if f.pc != entry.pc]
+            if self.on_failed is not None:
+                self.on_failed(entry.pc)
+            return
+        entry.state = LEARN
+        entry.taken_path = None
+        entry.nt_path = None
+        entry.candidate = -1
+        entry.conf = 0
+
+    def _converged(self, entry: _MergeEntry) -> None:
+        reconv = entry.candidate
+        if reconv == entry.target:
+            conv_type = 1
+        elif reconv > entry.target:
+            conv_type = 2
+        else:
+            conv_type = 3
+        result = ConvergenceResult(
+            entry.pc,
+            conv_type,
+            reconv,
+            backward=False,
+            body_size=entry.body_size,
+        )
+        del self.table[entry.pc]
+        self.frames = [f for f in self.frames if f.pc != entry.pc]
+        if self.on_converged is not None:
+            self.on_converged(result)
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        """Entry metadata plus the recording-frame path buffers."""
+        per_entry = 2 * _PC_BITS + 4 + 3 + 2 + 1  # pc, target, conf, fails, state, far
+        per_frame = _PC_BITS + 1 + self.path_limit * _PC_BITS
+        learn_paths = 2 * self.path_limit * _PC_BITS  # per-entry direction paths
+        return (
+            self.entries * (per_entry + learn_paths)
+            + self.stack_depth * per_frame
+        )

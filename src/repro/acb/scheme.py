@@ -55,14 +55,37 @@ class AcbScheme(PredicationScheme):
             config.critical_tag_bits,
             config.critical_counter_bits,
         )
-        self.learning = LearningTable(
-            limit=config.learning_limit,
-            on_converged=self._on_converged,
-            on_failed=self._on_learning_failed,
-        )
+        # convergence learner backend: the paper's fetch-stream scanner, or
+        # the DMP-style merge-point table over the retired stream (see
+        # repro.acb.reconv), selected by ``config.learning_backend``.
+        if config.learning_backend == "dmp":
+            from repro.acb.reconv import MergePointTable
+
+            self.learning = MergePointTable(
+                entries=config.merge_entries,
+                path_limit=config.merge_path_limit,
+                confidence=config.merge_confidence,
+                max_fails=config.merge_max_fails,
+                stack_depth=config.merge_stack_depth,
+                on_converged=self._on_converged,
+                on_failed=self._on_learning_failed,
+            )
+            self._retire_learning = True
+            scan_limit = config.merge_path_limit
+        else:
+            self.learning = LearningTable(
+                limit=config.learning_limit,
+                on_converged=self._on_converged,
+                on_failed=self._on_learning_failed,
+            )
+            self._retire_learning = False
+            scan_limit = config.learning_limit
+        #: region fetch budget: the learner's scan reach plus slack.
+        self._fetch_limit = scan_limit + config.divergence_slack
+        self._plan_source = "dmp" if self._retire_learning else "static"
         self.table = AcbTable(config)
         self.tracking = TrackingTable(
-            limit=config.learning_limit + config.divergence_slack,
+            limit=self._fetch_limit,
             on_diverged=self._on_tracking_diverged,
         )
         # run-time monitor: Dynamo by default, the rejected stall-count
@@ -129,7 +152,6 @@ class AcbScheme(PredicationScheme):
         if len(self._branch_pc_by_seq) > 8192:
             self._branch_pc_by_seq.clear()
         self._branch_pc_by_seq[dyn.seq] = dyn.pc
-        limit = self.config.learning_limit + self.config.divergence_slack
         return PredicationPlan(
             branch_pc=dyn.pc,
             reconv_pc=entry.reconv_pc,
@@ -137,8 +159,9 @@ class AcbScheme(PredicationScheme):
             first_taken=entry.first_taken,
             eager=False,
             select_uops=self.config.select_uops,
-            max_fetch=limit,
+            max_fetch=self._fetch_limit,
             max_cycles=self.config.divergence_cycles,
+            source=self._plan_source,
         )
 
     # ==================================================================
@@ -273,6 +296,12 @@ class AcbScheme(PredicationScheme):
                     )
         if dyn.pred_false or dyn.acb_role == ROLE_SELECT:
             return
+        if self._retire_learning:
+            # the merge-point backend trains on the architectural stream:
+            # every retired PC except predicated-false/select artifacts.
+            self.learning.observe_retire(
+                dyn.pc, dyn.instr.is_cond_branch, bool(dyn.taken)
+            )
         if self.monitor is not None:
             self.monitor.on_retire(self.core.cycle)
         self._retired_since_decay += 1

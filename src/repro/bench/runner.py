@@ -38,7 +38,7 @@ _PROFILE_FILES = (
 
 def _run_target(target: BenchTarget) -> Dict[str, Any]:
     from repro.core import SKYLAKE_LIKE, Core, scaled
-    from repro.harness.runner import scheme_for
+    from repro.harness.runner import scheme_for, split_config
     from repro.workloads import load_suite
 
     if target.factory is not None:
@@ -46,7 +46,9 @@ def _run_target(target: BenchTarget) -> Dict[str, Any]:
     else:
         (workload,) = load_suite([target.workload])
     scheme = scheme_for(workload, target.config)
-    predictor = "oracle" if target.config == "oracle-bp" else None
+    scheme_name, predictor = split_config(target.config)
+    if scheme_name == "oracle-bp":
+        predictor = "oracle"
 
     started = time.perf_counter()
     core = Core(workload, scaled(1, SKYLAKE_LIKE), scheme=scheme,

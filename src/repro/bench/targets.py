@@ -16,6 +16,10 @@ ask of it:
   (:mod:`repro.workloads.trace`): times the trace-reconstruction path,
   whose programs are shaped by recorded control flow rather than the
   synthetic generator.
+* ``frontier`` — one frontier workload under the dynamic-reconvergence
+  and Bullseye backends (:mod:`repro.workloads.frontier`): times the
+  merge-point learner's retired-stream scanning and the long-history
+  predictor, neither of which the other groups exercise.
 
 ``quick=True`` shrinks the matrix (fewer workloads, smaller windows) to a
 CI-sized smoke run.  Target *names* are stable across quick and full modes
@@ -43,7 +47,7 @@ class BenchTarget:
     """One timed simulation: a workload under a configuration and window."""
 
     name: str                 # stable identifier, e.g. ``fig6:lammps:acb``
-    group: str                # ``fig6`` | ``scheme`` | ``micro`` | ``trace``
+    group: str                # fig6 | scheme | micro | trace | frontier
     workload: str             # suite name, or micro kernel name
     config: str               # scheme configuration (repro.harness.runner)
     warmup: int
@@ -91,6 +95,17 @@ def bench_targets(quick: bool = False) -> List[BenchTarget]:
                 warmup=trace_warmup, measure=trace_measure,
                 factory=lambda: load_trace_workload("trace:h2p_loop"),
             ))
+
+    from repro.workloads.frontier import load_frontier_workload
+
+    frontier_warmup, frontier_measure = (2000, 2000) if quick else (8000, 8000)
+    for config in ("acb-dmp-reconv", "acb@bullseye"):
+        targets.append(BenchTarget(
+            name=f"frontier:frontier_far_merge:{config}", group="frontier",
+            workload="frontier_far_merge", config=config,
+            warmup=frontier_warmup, measure=frontier_measure,
+            factory=lambda: load_frontier_workload("frontier_far_merge"),
+        ))
 
     micro_warmup, micro_measure = (1000, 4000) if quick else (2000, 12000)
     for kernel, factory in MICRO_WORKLOADS.items():

@@ -1,10 +1,29 @@
 """Branch prediction substrate: TAGE, simpler baselines, the Figure 1
 oracle, a JRS confidence estimator (for the DMP/DHP baselines), and a BTB.
+
+Module map (configuration name → class):
+
+* ``bimodal``/``gshare``/``perceptron`` — :class:`BimodalPredictor`,
+  :class:`GSharePredictor`, :class:`PerceptronPredictor`: the simple
+  baselines the predictor-sensitivity sweep compares against.
+* ``tage`` — :class:`TagePredictor`: the default front end (the paper's
+  "TAGE-like" baseline).
+* ``bullseye`` — :class:`BullseyePredictor` (``repro.branch.bullseye``):
+  TAGE plus an H2P identification table and a per-H2P long-history
+  component that overrides only when its counter is confident — the
+  Bullseye-style backend the frontier experiments run ACB on top of
+  (``acb@bullseye`` config spellings; see docs/frontier.md).
+* ``oracle`` — :class:`OraclePredictor`: perfect conditional-branch
+  prediction, the Figure 1 potential study.
+
+Every predictor shares the :class:`Predictor` checkpoint/restore protocol
+so speculative history stays recoverable across flushes.
 """
 
 from repro.branch.base import Prediction, Predictor
 from repro.branch.bimodal import BimodalPredictor, BimodalTable
 from repro.branch.btb import BranchTargetBuffer
+from repro.branch.bullseye import BullseyePredictor
 from repro.branch.confidence import ConfidenceEstimator
 from repro.branch.gshare import GSharePredictor
 from repro.branch.history import GlobalHistory
@@ -17,6 +36,7 @@ PREDICTORS = {
     "gshare": GSharePredictor,
     "perceptron": PerceptronPredictor,
     "tage": TagePredictor,
+    "bullseye": BullseyePredictor,
     "oracle": OraclePredictor,
 }
 
@@ -39,6 +59,7 @@ __all__ = [
     "GSharePredictor",
     "PerceptronPredictor",
     "TagePredictor",
+    "BullseyePredictor",
     "OraclePredictor",
     "ConfidenceEstimator",
     "BranchTargetBuffer",

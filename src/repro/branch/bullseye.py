@@ -1,0 +1,176 @@
+"""Bullseye: an H2P-targeting predictor layered over TAGE.
+
+Models the structure of "Taming Wild Branches" (see PAPERS.md): a stock
+TAGE makes every prediction, while a small identification table watches
+TAGE's own mispredictions to find the handful of hard-to-predict (H2P)
+static branches that concentrate most of the misprediction mass.  Promoted
+H2Ps get a dedicated second-level component — counters indexed by a much
+longer folded global history than TAGE's longest table — which overrides
+TAGE only when its counter is confident.
+
+The interesting interaction for this reproduction is with ACB: dynamic
+predication feeds on exactly the branches Bullseye targets, so layering
+ACB over Bullseye (``acb@bullseye`` in the harness) probes how much of the
+paper's headroom survives a stronger front end — the Section V-C question
+asked from the other side.
+
+All speculative-history discipline (checkpoint / restore / speculative
+push) is forwarded to the wrapped TAGE plus the long history register, so
+the engine drives a Bullseye exactly like any other predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.branch.base import Prediction, Predictor
+from repro.branch.history import GlobalHistory
+from repro.branch.tage import TagePredictor, _fold
+
+
+class _H2PEntry:
+    """Identification-table record for one static branch."""
+
+    __slots__ = ("seen", "mispredicts", "promoted")
+
+    def __init__(self):
+        self.seen = 0
+        self.mispredicts = 0
+        self.promoted = False
+
+
+class BullseyePredictor(Predictor):
+    """TAGE + H2P identification + per-H2P long-history override."""
+
+    name = "bullseye"
+
+    def __init__(
+        self,
+        long_history: int = 192,
+        pht_size_log2: int = 12,
+        h2p_entries: int = 64,
+        promote_mispredicts: int = 8,
+        promote_rate: float = 0.05,
+        **tage_kwargs,
+    ):
+        self.tage = TagePredictor(**tage_kwargs)
+        self.long_history = long_history
+        self.long = GlobalHistory(long_history)
+        self.pht_size_log2 = pht_size_log2
+        self._pht_mask = (1 << pht_size_log2) - 1
+        #: 3-bit counters, taken when >= 4; start at the weak boundary.
+        self.pht = [3] * (1 << pht_size_log2)
+        self.h2p: Dict[int, _H2PEntry] = {}
+        self.h2p_entries = h2p_entries
+        self.promote_mispredicts = promote_mispredicts
+        self.promote_rate = promote_rate
+        # incrementally-folded long history (same rotate+XOR discipline as
+        # TAGE's folded-history registers; see repro.branch.tage).
+        self._flong = 0
+        self._evict_shift = long_history - 1
+        self._out_pos = long_history % pht_size_log2
+        # diagnostics
+        self.promotions = 0
+        self.overrides = 0
+        self.override_correct = 0
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, actual: Optional[bool] = None) -> Prediction:
+        base = self.tage.predict(pc, actual)
+        entry = self.h2p.get(pc)
+        idx = -1
+        taken = base.taken
+        confidence = base.confidence
+        if entry is not None and entry.promoted:
+            idx = (pc ^ (pc >> self.pht_size_log2) ^ self._flong) & self._pht_mask
+            ctr = self.pht[idx]
+            if ctr <= 1 or ctr >= 6:
+                taken = ctr >= 4
+                confidence = abs(ctr - 3.5) / 3.5
+        meta = (base.meta, idx, taken)
+        return Prediction(taken=taken, meta=meta, confidence=confidence)
+
+    # ------------------------------------------------------------------
+    def _push_long(self, taken: bool) -> None:
+        old = self.long.bits
+        self.long.push(taken)
+        evicted = (old >> self._evict_shift) & 1
+        g = (self._flong << 1) | (1 if taken else 0)
+        w = self.pht_size_log2
+        self._flong = ((g ^ (g >> w)) & self._pht_mask) ^ (evicted << self._out_pos)
+
+    def spec_push(self, pc: int, taken: bool) -> None:
+        self.tage.spec_push(pc, taken)
+        self._push_long(taken)
+
+    def checkpoint(self):
+        return (self.tage.checkpoint(), self.long.checkpoint())
+
+    def restore(self, cp, pc: int, actual) -> None:
+        tage_cp, long_cp = cp
+        self.tage.restore(tage_cp, pc, actual)
+        self.long.restore(long_cp)
+        self._flong = _fold(self.long.bits, self.pht_size_log2)
+        if actual is not None:
+            self._push_long(actual)
+
+    # ------------------------------------------------------------------
+    def update(self, pc: int, taken: bool, meta, mispredicted: bool) -> None:
+        if meta is None:
+            return
+        tage_meta, idx, final_pred = meta
+        # Train TAGE on *its own* outcome, not the composite one: TAGE's
+        # allocation-on-misprediction must fire iff TAGE itself was wrong,
+        # or the override layer would starve it of training signal.
+        tage_pred = tage_meta[6] if tage_meta is not None else taken
+        tage_mis = tage_pred != taken
+        self.tage.update(pc, taken, tage_meta, tage_mis)
+
+        entry = self.h2p.get(pc)
+        if entry is None:
+            if tage_mis:
+                if len(self.h2p) >= self.h2p_entries:
+                    victim = min(
+                        self.h2p,
+                        key=lambda b: (
+                            self.h2p[b].promoted,
+                            self.h2p[b].mispredicts,
+                            b,
+                        ),
+                    )
+                    del self.h2p[victim]
+                self.h2p[pc] = entry = _H2PEntry()
+            else:
+                return
+        entry.seen += 1
+        if tage_mis:
+            entry.mispredicts += 1
+        if (
+            not entry.promoted
+            and entry.mispredicts >= self.promote_mispredicts
+            and entry.mispredicts >= entry.seen * self.promote_rate
+        ):
+            entry.promoted = True
+            self.promotions += 1
+
+        if idx >= 0:
+            ctr = self.pht[idx]
+            was_confident = ctr <= 1 or ctr >= 6
+            if was_confident:
+                self.overrides += 1
+                if final_pred == taken:
+                    self.override_correct += 1
+            if taken and ctr < 7:
+                self.pht[idx] = ctr + 1
+            elif not taken and ctr > 0:
+                self.pht[idx] = ctr - 1
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        ident = self.h2p_entries * (30 + 10 + 12 + 1)  # tag, seen, mispredicts, bit
+        return (
+            self.tage.storage_bits()
+            + self.long_history
+            + len(self.pht) * 3
+            + ident
+        )

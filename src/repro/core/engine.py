@@ -1112,10 +1112,13 @@ class Core:
         if self.checker is not None:
             self.checker.on_region_open(region)
         if self.trace is not None:
+            # the provenance label rides along only for dynamically-learned
+            # regions, keeping static-scheme trace exports byte-identical.
+            extra = {} if plan.source == "static" else {"source": plan.source}
             self.trace.acb(
                 self.cycle, "region_open", dyn.pc,
                 seq=dyn.seq, reconv_pc=plan.reconv_pc, conv_type=plan.conv_type,
-                first_taken=plan.first_taken, true_taken=actual,
+                first_taken=plan.first_taken, true_taken=actual, **extra,
             )
         if self.scheme.updates_history_on_predication:
             self.bp.push_outcome(dyn.pc, actual)

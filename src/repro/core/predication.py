@@ -48,6 +48,12 @@ class PredicationPlan:
     max_fetch / max_cycles:
         Divergence thresholds: fetched instructions beyond which, or cycles
         after which, the instance is declared divergent and flushed.
+    source:
+        Which learner produced the reconvergence point: ``"static"`` for
+        the fetch-stream scanner (and the CFG-reading baselines),
+        ``"dmp"`` for the dynamic merge-point table.  Purely a
+        provenance label for tracing/diagnostics — the region mechanics
+        are identical.
     """
 
     branch_pc: int
@@ -58,6 +64,7 @@ class PredicationPlan:
     select_uops: bool = False
     max_fetch: int = 96
     max_cycles: int = 400
+    source: str = "static"
 
 
 @dataclass

@@ -218,7 +218,8 @@ def fig7_correlation(names: Optional[Sequence[str]] = None) -> Dict:
 # ======================================================================
 def fig8_vs_dmp(names: Optional[Sequence[str]] = None) -> Dict:
     names = experiment_workloads(names)
-    results = compare_configs(names, ["baseline", "acb", "acb-nodynamo", "dmp"])
+    configs = ["baseline", "acb", "acb-nodynamo", "acb-dmp-reconv", "dmp"]
+    results = compare_configs(names, configs)
     out_rows = []
     for name, rs in results.items():
         base = rs["baseline"].stats.cycles
@@ -228,19 +229,99 @@ def fig8_vs_dmp(names: Optional[Sequence[str]] = None) -> Dict:
                 "tag": rs["acb"].paper_tag,
                 "acb": base / rs["acb"].stats.cycles,
                 "acb_nodynamo": base / rs["acb-nodynamo"].stats.cycles,
+                "acb_dmp_reconv": base / rs["acb-dmp-reconv"].stats.cycles,
                 "dmp": base / rs["dmp"].stats.cycles,
             }
         )
+    sweep = ("acb", "acb-nodynamo", "acb-dmp-reconv", "dmp")
     return {
         "rows": out_rows,
         "geomean": {
             cfg: geomean(_speedups(results, cfg).values())
-            for cfg in ("acb", "acb-nodynamo", "dmp")
+            for cfg in sweep
         },
         "worst": {
             cfg: min(_speedups(results, cfg).values())
-            for cfg in ("acb", "acb-nodynamo", "dmp")
+            for cfg in sweep
         },
+    }
+
+
+# ======================================================================
+# Figure 8 frontier — dynamic merge points + H2P prediction cross-products
+# ======================================================================
+#: the frontier scheme space: plain ACB, ACB over the DMP-style dynamic
+#: reconvergence backend, and both over the Bullseye H2P predictor.
+FRONTIER_CONFIGS = (
+    "baseline",
+    "acb",
+    "acb-dmp-reconv",
+    "baseline@bullseye",
+    "acb@bullseye",
+)
+
+
+def fig8_frontier(names: Optional[Sequence[str]] = None) -> Dict:
+    """The mechanism-frontier comparison matrix (beyond the paper's Fig. 8).
+
+    Runs the frontier workloads (Type-3+ region shapes the static learner
+    must reject — :mod:`repro.workloads.frontier`) plus every registered
+    mini-trace under :data:`FRONTIER_CONFIGS`, and reports:
+
+    * per-workload speedups of each configuration over ``baseline``;
+    * predicated-instance and divergence counts for ``acb`` vs
+      ``acb-dmp-reconv`` — the direct measure of the region space the
+      dynamic merge-point backend unlocks;
+    * ``dmp_only_regions``: the workloads where plain ACB opens *no*
+      regions (its learner rejects every candidate) while ACB+DMP-reconv
+      opens some — the frontier headline;
+    * ``acb_on_bullseye`` geomeans: how ACB's gain shifts when the H2P
+      population it feeds on is already tamed by a Bullseye front end.
+    """
+    from repro.workloads.frontier import frontier_names
+    from repro.workloads.trace import trace_workload_names
+
+    if names is None:
+        names = frontier_names() + trace_workload_names()
+    names = list(names)
+    results = compare_configs(names, list(FRONTIER_CONFIGS))
+    rows = []
+    for name in names:
+        rs = results[name]
+        base = rs["baseline"].stats.cycles
+        rows.append(
+            {
+                "workload": name,
+                "acb": base / rs["acb"].stats.cycles,
+                "acb_dmp_reconv": base / rs["acb-dmp-reconv"].stats.cycles,
+                "bullseye": base / rs["baseline@bullseye"].stats.cycles,
+                "acb_bullseye": base / rs["acb@bullseye"].stats.cycles,
+                "acb_regions": rs["acb"].stats.predicated_instances,
+                "dmp_regions": rs["acb-dmp-reconv"].stats.predicated_instances,
+                "dmp_divergences": rs["acb-dmp-reconv"].stats.divergence_flushes,
+                "base_mispredicts": rs["baseline"].stats.mispredicts,
+                "bullseye_mispredicts": rs["baseline@bullseye"].stats.mispredicts,
+            }
+        )
+    sweep = [c for c in FRONTIER_CONFIGS if c != "baseline"]
+    return {
+        "names": names,
+        "rows": rows,
+        "geomean": {
+            cfg: geomean(_speedups(results, cfg).values()) for cfg in sweep
+        },
+        "dmp_only_regions": [
+            r["workload"]
+            for r in rows
+            if r["acb_regions"] == 0 and r["dmp_regions"] > 0
+        ],
+        "acb_gain_on_tage": geomean(_speedups(results, "acb").values()),
+        "acb_gain_on_bullseye": geomean(
+            results[name]["baseline@bullseye"].stats.cycles
+            / results[name]["acb@bullseye"].stats.cycles
+            for name in names
+        ),
+        "results": results,
     }
 
 
@@ -300,7 +381,9 @@ def fig10_alloc_stalls(names: Optional[Sequence[str]] = None) -> Dict:
 # ======================================================================
 def fig11_vs_dhp(names: Optional[Sequence[str]] = None) -> Dict:
     names = experiment_workloads(names)
-    results = compare_configs(names, ["baseline", "acb", "dhp"])
+    results = compare_configs(
+        names, ["baseline", "acb", "dhp", "baseline@bullseye", "acb@bullseye"]
+    )
     rows = []
     for name, rs in results.items():
         base = rs["baseline"].stats.cycles
@@ -309,6 +392,11 @@ def fig11_vs_dhp(names: Optional[Sequence[str]] = None) -> Dict:
                 "workload": name,
                 "acb": base / rs["acb"].stats.cycles,
                 "dhp": base / rs["dhp"].stats.cycles,
+                # the H2P-targeting predictor cross-product: how much of
+                # ACB's gain survives a front end that already tames the
+                # branches ACB feeds on (speedups vs the *tage* baseline).
+                "acb_bullseye": base / rs["acb@bullseye"].stats.cycles,
+                "bullseye": base / rs["baseline@bullseye"].stats.cycles,
             }
         )
     return {
@@ -316,6 +404,8 @@ def fig11_vs_dhp(names: Optional[Sequence[str]] = None) -> Dict:
         "geomean": {
             "acb": geomean(r["acb"] for r in rows),
             "dhp": geomean(r["dhp"] for r in rows),
+            "acb_bullseye": geomean(r["acb_bullseye"] for r in rows),
+            "bullseye": geomean(r["bullseye"] for r in rows),
         },
         "dhp_insensitive": sum(1 for r in rows if abs(r["dhp"] - 1) < 0.01),
     }

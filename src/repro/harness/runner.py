@@ -63,7 +63,23 @@ ACB_VARIANTS: Dict[str, Dict[str, object]] = {
     "acb-pbh": {"oracle_history": True},
     "acb-stalls": {"throttle": "stalls"},
     "acb-multireconv": {"multi_reconv": True},
+    "acb-dmp-reconv": {"learning_backend": "dmp"},
 }
+
+
+def split_config(config: str) -> Tuple[str, Optional[str]]:
+    """Split a ``scheme[@predictor]`` spelling into its two parts.
+
+    Configuration names accept an optional ``@<predictor>`` suffix —
+    ``"acb@bullseye"`` runs the ACB scheme over the Bullseye predictor.
+    Returns ``(scheme, predictor_or_None)``; plain names pass through
+    unchanged, so every existing call site can adopt the convention by
+    splitting first.
+    """
+    if "@" in config:
+        scheme, _, predictor = config.partition("@")
+        return scheme, predictor
+    return config, None
 
 
 def make_scheme(
@@ -74,8 +90,10 @@ def make_scheme(
     ACB variants apply their field overrides to *acb_config* (default: the
     reduced suite configuration), so the same variant can run at a
     different window scale — trace workloads supply a base proportional to
-    their window length.
+    their window length.  A ``@predictor`` suffix is ignored here (the
+    predictor is the core's concern, not the scheme's).
     """
+    config, _ = split_config(config)
     if config in ACB_VARIANTS:
         base = acb_config if acb_config is not None else reduced_acb_config()
         overrides = ACB_VARIANTS[config]
@@ -102,6 +120,7 @@ SCHEME_FACTORIES: Dict[str, Callable[[], Optional[PredicationScheme]]] = {
     "acb-pbh": _acb_factory("acb-pbh"),
     "acb-stalls": _acb_factory("acb-stalls"),
     "acb-multireconv": _acb_factory("acb-multireconv"),
+    "acb-dmp-reconv": _acb_factory("acb-dmp-reconv"),
     "dmp": lambda: DmpScheme(),
     "dmp-pbh": lambda: DmpPbhScheme(),
     "dhp": lambda: DhpScheme(),
@@ -110,9 +129,13 @@ SCHEME_FACTORIES: Dict[str, Callable[[], Optional[PredicationScheme]]] = {
 
 
 def resolve_workload(name: str) -> Workload:
-    """Map a workload name — suite or ``trace:<ref>`` — to a Workload."""
+    """Map a workload name — suite, frontier, or ``trace:<ref>``."""
     if is_trace_name(name):
         return load_trace_workload(name)
+    from repro.workloads.frontier import is_frontier_name, load_frontier_workload
+
+    if is_frontier_name(name):
+        return load_frontier_workload(name)
     (workload,) = load_suite([name])
     return workload
 
@@ -130,7 +153,7 @@ def scheme_for(
     """
     if (
         acb_config is None
-        and config in ACB_VARIANTS
+        and split_config(config)[0] in ACB_VARIANTS
         and isinstance(workload_obj, TraceReplayWorkload)
     ):
         acb_config = AcbConfig().reduced(workload_obj.acb_scale)
@@ -171,7 +194,14 @@ def normalized_run_key(
     Trace workloads are keyed by *content*: the ``trace:<ref>`` name is
     extended with a digest of the trace file's bytes, so re-converting or
     editing a trace in place can never serve stale cached results.
+
+    ``@predictor`` config spellings normalize the same way: the suffix is
+    folded into the predictor slot, so ``"acb@bullseye"`` and
+    ``config="acb", predictor="bullseye"`` share one cache cell.
     """
+    config, cfg_predictor = split_config(config)
+    if cfg_predictor is not None:
+        predictor = cfg_predictor
     if config == "oracle-bp":
         config, predictor = "baseline", "oracle"
     if is_trace_name(workload):
@@ -257,14 +287,19 @@ def run_workload(
         workload_obj = resolve_workload(workload)
     else:
         workload_obj = workload
-    if config not in SCHEME_FACTORIES:
+    scheme_name, cfg_predictor = split_config(config)
+    if scheme_name not in SCHEME_FACTORIES:
         raise ValueError(
-            f"unknown config {config!r}; choose from {sorted(SCHEME_FACTORIES)}"
+            f"unknown config {scheme_name!r}; "
+            f"choose from {sorted(SCHEME_FACTORIES)} "
+            f"(optionally suffixed '@<predictor>')"
         )
+    if cfg_predictor is not None:
+        predictor = cfg_predictor
 
     scheme = scheme_for(workload_obj, config, acb_config=acb_config)
     cfg = core_config if core_config is not None else scaled(core_scale, SKYLAKE_LIKE)
-    if config == "oracle-bp":
+    if scheme_name == "oracle-bp":
         predictor = "oracle"
     core = Core(workload_obj, cfg, scheme=scheme, predictor=predictor)
     stats = core.run_window(

@@ -14,15 +14,17 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core import SKYLAKE_LIKE, Core, CoreConfig, DeadlockError
-from repro.harness.runner import SCHEME_FACTORIES
+from repro.harness.runner import SCHEME_FACTORIES, split_config
 from repro.validate.checker import InvariantViolation
 from repro.validate.events import RetireEvent, diff_traces
 from repro.validate.golden import GoldenExecutor
 from repro.workloads import Workload
 
-#: configurations the validator exercises by default: the plain OOO machine
-#: and the full ACB mechanism (the paper's headline configuration).
-DEFAULT_CONFIGS = ("baseline", "acb")
+#: configurations the validator exercises by default: the plain OOO machine,
+#: the full ACB mechanism (the paper's headline configuration), ACB over the
+#: dynamic merge-point learner, and ACB over the Bullseye H2P predictor —
+#: the whole scheme space has to retire the identical architectural trace.
+DEFAULT_CONFIGS = ("baseline", "acb", "acb-dmp-reconv", "acb@bullseye")
 
 
 @dataclass
@@ -49,12 +51,24 @@ class ConfigTrace:
     failure: Optional[ValidationFailure] = None
 
 
-def _make_scheme(config: str):
-    if config not in SCHEME_FACTORIES:
+def _scheme_and_predictor(config: str):
+    """``(scheme, predictor_or_None)`` for a ``name[@predictor]`` config.
+
+    The differential checker accepts the same ``@<predictor>`` spellings as
+    the harness, so the fuzzer can cross-check e.g. ``acb@bullseye``: the
+    architectural trace must stay identical no matter which predictor is
+    steering speculation.
+    """
+    scheme_name, predictor = split_config(config)
+    if scheme_name not in SCHEME_FACTORIES:
         raise ValueError(
-            f"unknown config {config!r}; choose from {sorted(SCHEME_FACTORIES)}"
+            f"unknown config {scheme_name!r}; "
+            f"choose from {sorted(SCHEME_FACTORIES)} "
+            f"(optionally suffixed '@<predictor>')"
         )
-    return SCHEME_FACTORIES[config]()
+    if scheme_name == "oracle-bp":
+        predictor = "oracle"
+    return SCHEME_FACTORIES[scheme_name](), predictor
 
 
 def run_config_trace(
@@ -68,7 +82,8 @@ def run_config_trace(
     cfg = core_config if core_config is not None else SKYLAKE_LIKE
     if debug_checks and not cfg.debug_checks:
         cfg = replace(cfg, debug_checks=True)
-    core = Core(workload, cfg, scheme=_make_scheme(config))
+    scheme, predictor = _scheme_and_predictor(config)
+    core = Core(workload, cfg, scheme=scheme, predictor=predictor)
     trace = core.enable_arch_trace()
     out = ConfigTrace(config=config, trace=trace, checker_summary={})
     try:

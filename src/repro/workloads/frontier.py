@@ -1,0 +1,110 @@
+"""Frontier workloads: region shapes past the static learner's reach.
+
+These kernels are built from the Type-3+ hammock shapes (``loop_body``,
+``multi_exit_far``) whose reconvergence points the paper's fetch-stream
+learner *provably* cannot confirm within its N-instruction scan — the
+shapes Section VI defers to future work.  They exist to probe the dynamic
+merge-point backend (``acb-dmp-reconv``): plain ACB rejects every
+candidate on them, while the DMP-style learner opens regions, so the
+``fig8-frontier`` experiment can measure what that unlocked coverage is
+worth.
+
+They are intentionally *not* part of the 70-workload suite: the suite
+mirrors the paper's evaluation set, while these are mechanism probes.
+:func:`repro.harness.runner.resolve_workload` resolves them by name just
+like suite workloads, so every harness/CLI/bench path can run them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.specs import HammockSpec, WorkloadSpec
+from repro.workloads.workload import Workload
+
+#: Every frontier kernel keeps its hard-to-predict branch at p≈0.5 so the
+#: criticality filter saturates quickly even in reduced windows.
+FRONTIER_SPECS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            name="frontier_loop_arm",
+            category="frontier",
+            seed=90_001,
+            paper_tag="SectionVI",
+            hammocks=(
+                HammockSpec(
+                    shape="loop_body", nt_len=4, p=0.5, arm_trips=12,
+                ),
+            ),
+            ilp=2,
+            chain=1,
+            memory="strided",
+            mem_span_kb=16,
+            mem_ops=1,
+            description=(
+                "counted loop inside the predicated arm: the dynamic "
+                "NT path overruns the static scan limit"
+            ),
+        ),
+        WorkloadSpec(
+            name="frontier_far_merge",
+            category="frontier",
+            seed=90_002,
+            paper_tag="SectionVI",
+            hammocks=(
+                HammockSpec(
+                    shape="multi_exit_far", nt_len=4, p=0.5, far_gap=48,
+                ),
+            ),
+            ilp=2,
+            chain=1,
+            memory="strided",
+            mem_span_kb=16,
+            mem_ops=1,
+            description=(
+                "reconvergence at a far label past the local join, "
+                "beyond the static scan horizon"
+            ),
+        ),
+        WorkloadSpec(
+            name="frontier_mixed",
+            category="frontier",
+            seed=90_003,
+            paper_tag="SectionVI",
+            hammocks=(
+                HammockSpec(shape="if_else", taken_len=3, nt_len=3, p=0.5),
+                HammockSpec(
+                    shape="loop_body", nt_len=4, p=0.5, arm_trips=12,
+                ),
+                HammockSpec(
+                    shape="multi_exit_far", nt_len=4, p=0.5, far_gap=48,
+                ),
+            ),
+            ilp=3,
+            chain=1,
+            memory="strided",
+            mem_span_kb=16,
+            mem_ops=1,
+            description=(
+                "one learnable diamond next to two Type-3+ shapes: the "
+                "static learner covers a third of the region space, the "
+                "merge-point learner all of it"
+            ),
+        ),
+    )
+}
+
+
+def frontier_names() -> List[str]:
+    return list(FRONTIER_SPECS)
+
+
+def is_frontier_name(name: str) -> bool:
+    return name in FRONTIER_SPECS
+
+
+def load_frontier_workload(name: str) -> Workload:
+    from repro.workloads.generator import build_workload
+
+    return build_workload(FRONTIER_SPECS[name])

@@ -137,6 +137,31 @@ def _emit_hammock(
         b.jump(join, note=f"{hname}.jumper")
         b.label(f"tblk{hi}")
         _emit_body(b, h, h.taken_len, hname, "t")
+    elif h.shape == "loop_body":
+        # Type-3+: the NT arm contains a counted inner loop, so the dynamic
+        # path to the join runs ``~4 × arm_trips`` instructions — past the
+        # static learner's N-instruction scan, but well inside a dynamic
+        # merge-point learner's retired-path window.
+        b.cond_branch(join, behavior=hname, note=f"{hname}.branch")
+        first = max(1, h.nt_len // 2)
+        _emit_body(b, h, first, hname, "nt_a")
+        lname = f"{hname}_arm"
+        # fixed trip count: the *arm loop* must stay predictable so the
+        # hard-to-predict outer branch, not the inner exit, is the region's
+        # only uncertainty (jitter would diverge every opened region).
+        behaviors[lname] = LoopTrip(lname, trips=h.arm_trips, jitter=0)
+        b.label(f"armtop{hi}")
+        b.alu(dst=15, srcs=(15,), note=f"{hname}.arm.count")
+        b.alu(dst=5, srcs=(5,), note=f"{hname}.arm.body")
+        b.compare(srcs=(15,), note=f"{hname}.arm.cmp")
+        b.cond_branch(f"armtop{hi}", behavior=lname, note=f"{hname}.arm.branch")
+        _emit_body(b, h, max(1, h.nt_len - first), hname, "nt_b")
+    elif h.shape == "multi_exit_far":
+        # Type-3+: the branch targets a far label *past* the local join, and
+        # the NT path reaches it only after a long straight-line gap — the
+        # true reconvergence point sits beyond the static scan horizon.
+        b.cond_branch(f"far{hi}", behavior=hname, note=f"{hname}.branch")
+        _emit_body(b, h, h.nt_len, hname, "nt")
     elif h.shape == "nested_else":
         # Type-2 with an inner hammock inside the NT arm: an asymmetric
         # nested region whose inner reconvergence sits before the outer one.
@@ -171,6 +196,11 @@ def _emit_hammock(
 
     if h.shape == "multi_exit":
         b.alu(dst=3, srcs=(3,), note=f"{hname}.postjoin")
+        b.label(f"far{hi}")
+        b.alu(dst=3, srcs=(3,), note=f"{hname}.far")
+    elif h.shape == "multi_exit_far":
+        for i in range(h.far_gap):
+            b.alu(dst=10, srcs=(10,), note=f"{hname}.gap.{i}")
         b.label(f"far{hi}")
         b.alu(dst=3, srcs=(3,), note=f"{hname}.far")
 

@@ -23,9 +23,15 @@ class HammockSpec:
         layout with the taken block placed after the join), ``"nested"``
         (Type-1 with an inner predictable hammock), ``"nested_else"``
         (Type-2 whose NT arm contains an inner hammock — an asymmetric
-        nested region), or ``"multi_exit"`` (the NT body can escape to a
+        nested region), ``"multi_exit"`` (the NT body can escape to a
         farther join — the multiple-reconvergence-point pattern DMP's
-        compiler handles, Fig. 8 B1).
+        compiler handles, Fig. 8 B1), ``"loop_body"`` (the NT arm contains
+        an inner counted loop, so the dynamic path to the join exceeds any
+        static scan budget — a Type-3+ shape only a dynamic merge-point
+        learner can accept), or ``"multi_exit_far"`` (the branch targets a
+        far label past the local join and the NT path falls through a long
+        straight-line gap to reach it — reconvergence farther than the
+        static scan limit).
     taken_len / nt_len:
         Instructions on each side (the T and N of Equation 1).
     p:
@@ -97,10 +103,17 @@ class HammockSpec:
     #: distinct registers the body writes (select-uop pressure for DMP;
     #: the Fig. 10 allocation-stall pattern needs several live-outs).
     live_outs: int = 1
+    #: for ``loop_body``: trip count of the counted loop inside the NT arm
+    #: (sets how far the dynamic path overruns the static scan limit).
+    arm_trips: int = 12
+    #: for ``multi_exit_far``: straight-line instructions between the local
+    #: join and the far reconvergence point the branch targets.
+    far_gap: int = 48
 
     def __post_init__(self):
         if self.shape not in (
-            "if", "if_else", "type3", "nested", "nested_else", "multi_exit"
+            "if", "if_else", "type3", "nested", "nested_else", "multi_exit",
+            "loop_body", "multi_exit_far",
         ):
             raise ValueError(f"unknown hammock shape {self.shape!r}")
         if self.kind not in ("bernoulli", "periodic", "phased", "markov"):

@@ -28,7 +28,7 @@ import os
 import pytest
 
 from repro.core import SKYLAKE_LIKE, Core
-from repro.harness.runner import SCHEME_FACTORIES
+from repro.harness.runner import SCHEME_FACTORIES, split_config
 from repro.validate.fuzz import random_spec
 from repro.workloads.generator import build_workload
 
@@ -38,8 +38,11 @@ GOLDEN_PATH = os.path.join(
 
 #: ≥10 fuzz-corpus seeds (ISSUE 5 acceptance floor).
 SEEDS = tuple(range(10))
-#: every scheme configuration the harness can run, not just the paper's 7.
-CONFIGS = tuple(sorted(SCHEME_FACTORIES))
+#: every scheme configuration the harness can run, not just the paper's 7 —
+#: plus the ``@predictor`` cross-products that pin the Bullseye backend.
+CONFIGS = tuple(sorted(SCHEME_FACTORIES)) + (
+    "acb@bullseye", "baseline@bullseye",
+)
 #: architectural instructions per run — small enough that the full
 #: seeds × configs matrix stays in unit-test time, large enough to reach
 #: steady predication/flush activity.
@@ -49,8 +52,10 @@ INSTRUCTIONS = 400
 def simulate(seed: int, config: str) -> dict:
     """One deterministic run; returns the JSON-normalized stats dict."""
     workload = build_workload(random_spec(seed))
-    scheme = SCHEME_FACTORIES[config]()
-    predictor = "oracle" if config == "oracle-bp" else None
+    scheme_name, predictor = split_config(config)
+    scheme = SCHEME_FACTORIES[scheme_name]()
+    if scheme_name == "oracle-bp":
+        predictor = "oracle"
     core = Core(workload, SKYLAKE_LIKE, scheme=scheme, predictor=predictor)
     stats = core.run(INSTRUCTIONS)
     # round-trip through JSON so the comparison matches what the golden

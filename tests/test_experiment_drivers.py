@@ -46,8 +46,24 @@ class TestDrivers:
 
     def test_fig8(self):
         result = experiments.fig8_vs_dmp(NAMES)
-        assert set(result["geomean"]) == {"acb", "acb-nodynamo", "dmp"}
+        assert set(result["geomean"]) == {
+            "acb", "acb-nodynamo", "acb-dmp-reconv", "dmp"
+        }
         assert len(result["rows"]) == len(NAMES)
+
+    def test_fig8_frontier(self):
+        result = experiments.fig8_frontier(["frontier_far_merge", "lammps"])
+        assert set(result["geomean"]) == {
+            "acb", "acb-dmp-reconv", "baseline@bullseye", "acb@bullseye"
+        }
+        assert len(result["rows"]) == 2
+        for row in result["rows"]:
+            assert row["acb"] > 0 and row["acb_bullseye"] > 0
+        # dmp_only_regions only lists workloads where the static learner
+        # opened nothing while the merge-point learner opened something —
+        # at these tiny windows it may legitimately be empty, but it must
+        # always be a subset of the requested names.
+        assert set(result["dmp_only_regions"]) <= {"frontier_far_merge", "lammps"}
 
     def test_fig9(self):
         result = experiments.fig9_dmp_pbh(["omnetpp"])
@@ -63,6 +79,8 @@ class TestDrivers:
     def test_fig11(self):
         result = experiments.fig11_vs_dhp(NAMES)
         assert result["geomean"]["acb"] > 0
+        assert result["geomean"]["acb_bullseye"] > 0
+        assert result["geomean"]["bullseye"] > 0
         assert result["dhp_insensitive"] >= 0
 
     def test_sec5d(self):

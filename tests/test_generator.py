@@ -20,7 +20,7 @@ def gen(shape=None, hammock=None, **spec_kw):
 
 class TestShapes:
     @pytest.mark.parametrize("shape", ["if", "if_else", "type3", "nested",
-                                       "multi_exit"])
+                                       "nested_else", "multi_exit"])
     def test_every_shape_reconverges(self, shape):
         workload = gen(shape)
         pc = workload.program.cond_branch_pcs()[0]
@@ -59,6 +59,66 @@ class TestShapes:
                                            store_in_body=True))
         pc = workload.program.cond_branch_pcs()[0]
         assert classify_hammock(workload.program, pc).has_store
+
+
+class TestType3PlusShapes:
+    """The frontier shapes: regions the *static* fetch-stream learner must
+    reject (with a stable, named reason) while the dynamic merge-point
+    backend may accept them."""
+
+    def _run_scheme(self, shape, config, n=6000, **hammock_kw):
+        from repro.core import SKYLAKE_LIKE, Core
+        from repro.harness.runner import make_scheme
+
+        workload = gen(hammock=HammockSpec(shape=shape, p=0.5, **hammock_kw))
+        scheme = make_scheme(config)
+        Core(workload, SKYLAKE_LIKE, scheme=scheme).run(n)
+        return scheme
+
+    def test_loop_body_emits_inner_counted_loop(self):
+        workload = gen(hammock=HammockSpec(shape="loop_body", nt_len=4, p=0.5,
+                                           arm_trips=12))
+        program = workload.program
+        backward = [
+            p for p in program.cond_branch_pcs()
+            if not program[p].is_forward_branch
+        ]
+        # the arm loop plus the outer kernel loop
+        assert len(backward) >= 1
+        arm = backward[0]
+        behavior = workload.behaviors[program[arm].behavior]
+        assert behavior.trips == 12 and behavior.jitter == 0
+
+    def test_multi_exit_far_targets_past_local_join(self):
+        workload = gen(hammock=HammockSpec(shape="multi_exit_far", nt_len=4,
+                                           p=0.5, far_gap=48))
+        program = workload.program
+        pc = program.cond_branch_pcs()[0]
+        target = program[pc].target
+        # the branch jumps over the NT body AND the far gap
+        assert target - program[pc].fallthrough > 48
+
+    @pytest.mark.parametrize("shape,kw", [
+        ("loop_body", dict(nt_len=4, arm_trips=12)),
+        ("multi_exit_far", dict(nt_len=4, far_gap=48)),
+    ])
+    def test_static_learner_rejects_with_stable_reason(self, shape, kw):
+        """The fetch-stream scan wraps the kernel loop without confirming a
+        convergence type on both frontier shapes — and says so.  Pinning
+        the reason string keeps the rejection *diagnosable*: a future
+        learner change that starts rejecting for a different reason (or
+        accepting) must show up here."""
+        scheme = self._run_scheme(shape, "acb", **kw)
+        assert scheme.learned == 0
+        assert scheme.learning.last_fail_reason == "wrapped"
+
+    @pytest.mark.parametrize("shape,kw", [
+        ("loop_body", dict(nt_len=4, arm_trips=12)),
+        ("multi_exit_far", dict(nt_len=4, far_gap=48)),
+    ])
+    def test_dynamic_backend_accepts(self, shape, kw):
+        scheme = self._run_scheme(shape, "acb-dmp-reconv", **kw)
+        assert scheme.learned >= 1
 
 
 class TestBehaviorWiring:

@@ -1,0 +1,257 @@
+"""Property tests for the dynamic merge-point table (``repro.acb.reconv``).
+
+Three families, per the ISSUE acceptance list:
+
+* **Dynamic post-dominance** — whatever merge point the table converges on,
+  for *every* generated CFG shape (including the asymmetric ``nested_else``
+  and the Type-3+ frontier shapes), must actually post-dominate the branch
+  in the retired stream it was learned from: between consecutive retired
+  instances of the branch, the merge PC appears, regardless of direction.
+  The feed is the golden in-order executor, so the property is checked
+  against architectural truth, not timing-engine behavior.
+* **Confidence discipline** — an entry never converges before ``confidence``
+  consecutive verifying frames, and a single miss restarts learning.
+* **Bounded hardware** — the table never exceeds its entry budget, evicting
+  insertion-order-oldest, and the recording-frame stack never exceeds
+  ``stack_depth``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acb.reconv import MergePointTable
+from repro.validate.golden import GoldenExecutor
+from repro.workloads import HammockSpec, WorkloadSpec, build_workload
+
+#: every forward-hammock shape the generator can emit, with enough knobs to
+#: give each a distinct join structure.
+SHAPE_SPECS = {
+    "if": HammockSpec(shape="if", nt_len=4, p=0.5),
+    "if_else": HammockSpec(shape="if_else", taken_len=3, nt_len=4, p=0.5),
+    "type3": HammockSpec(shape="type3", taken_len=3, nt_len=4, p=0.5),
+    "nested": HammockSpec(shape="nested", nt_len=5, p=0.5),
+    "nested_else": HammockSpec(shape="nested_else", taken_len=3, nt_len=5, p=0.5),
+    "multi_exit": HammockSpec(shape="multi_exit", nt_len=5, p=0.5, escape_p=0.2),
+    "loop_body": HammockSpec(shape="loop_body", nt_len=4, p=0.5, arm_trips=6),
+    "multi_exit_far": HammockSpec(shape="multi_exit_far", nt_len=4, p=0.5,
+                                  far_gap=24),
+}
+
+
+def shape_workload(shape: str):
+    return build_workload(WorkloadSpec(
+        name=f"mp_{shape}", category="test", seed=77,
+        hammocks=(SHAPE_SPECS[shape],),
+        ilp=2, chain=1, memory="none",
+    ))
+
+
+def retired_stream(workload, n: int):
+    """``(pc, is_cond_branch, taken)`` tuples from the golden executor."""
+    program = workload.program
+    trace = GoldenExecutor(workload).run(n)
+    return [
+        (ev.pc, program[ev.pc].is_cond_branch, bool(ev.taken))
+        for ev in trace
+    ]
+
+
+def learn_from_stream(stream, branch_pc, target, **table_kw):
+    """Feed *stream* to a fresh table tracking one branch; return results."""
+    results = []
+    table = MergePointTable(
+        on_converged=results.append, **table_kw
+    )
+    table.load(branch_pc, target)
+    for pc, is_br, taken in stream:
+        table.observe_retire(pc, is_br, taken)
+        if table.table.get(branch_pc) is None and not results:
+            break  # evicted as unlearnable
+        # keep tracking across re-learns: convergence deletes the entry
+        if results:
+            break
+    return table, results
+
+
+class TestDynamicPostDominance:
+    """The converged merge point must appear between every pair of retired
+    instances of its branch — the dynamic post-dominance property."""
+
+    @pytest.mark.parametrize("shape", sorted(SHAPE_SPECS))
+    def test_converged_point_post_dominates(self, shape):
+        workload = shape_workload(shape)
+        program = workload.program
+        branch_pc = program.cond_branch_pcs()[0]
+        target = program[branch_pc].target
+        stream = retired_stream(workload, 4000)
+        table, results = learn_from_stream(
+            stream, branch_pc, target, path_limit=96,
+        )
+        if not results:
+            pytest.skip(f"{shape}: no convergence within the window")
+        (res,) = results
+        assert res.branch_pc == branch_pc
+        assert res.reconv_pc > branch_pc  # forward merge only
+        # every inter-instance segment of the retired stream must contain
+        # the merge point (bounded by the recording path limit, the same
+        # horizon the hardware would see)
+        instances = [
+            i for i, (pc, is_br, _t) in enumerate(stream)
+            if is_br and pc == branch_pc
+        ]
+        assert len(instances) >= 8
+        missing = total = 0
+        for a, b in zip(instances, instances[1:]):
+            segment = [pc for pc, _b, _t in stream[a + 1: b + 1]]
+            if len(segment) <= 96:
+                total += 1
+                missing += res.reconv_pc not in segment
+        if shape == "multi_exit":
+            # the NT body escapes past the local join with probability
+            # escape_p: the learned merge is only a *statistical*
+            # post-dominator, which is exactly why the engine backs the
+            # table with runtime divergence detection.  Require the merge
+            # on the non-escaping majority.
+            assert missing / total <= 2 * SHAPE_SPECS[shape].escape_p
+        else:
+            assert missing == 0, (
+                f"{shape}: learned merge {res.reconv_pc:#x} missing from "
+                f"{missing}/{total} retired inter-instance segments — "
+                f"not a post-dominator"
+            )
+
+    @pytest.mark.parametrize("shape", ["loop_body", "multi_exit_far"])
+    def test_frontier_shapes_converge(self, shape):
+        """The two Type-3+ shapes exist *because* the dynamic learner can
+        accept them: the table must converge on both."""
+        workload = shape_workload(shape)
+        program = workload.program
+        branch_pc = program.cond_branch_pcs()[0]
+        stream = retired_stream(workload, 4000)
+        _table, results = learn_from_stream(
+            stream, branch_pc, program[branch_pc].target, path_limit=96,
+        )
+        assert results, f"{shape}: dynamic learner failed to converge"
+
+    def test_backward_branch_rejected_immediately(self):
+        failed = []
+        table = MergePointTable(on_failed=failed.append)
+        table.load(200, 100)  # target <= pc: a loop branch
+        assert failed == [200]
+        assert not table.table
+
+
+class TestConfidenceDiscipline:
+    BRANCH, TARGET, MERGE = 100, 110, 120
+
+    def _frame(self, table, taken, path):
+        """Retire one branch instance plus its recorded path, then the next
+        instance so the frame finalizes."""
+        table.observe_retire(self.BRANCH, True, taken)
+        for pc in path:
+            table.observe_retire(pc, False, False)
+
+    def _taken(self):
+        return [self.TARGET, 115, self.MERGE, 125]
+
+    def _nt(self):
+        return [101, 102, self.MERGE, 125]
+
+    def make_table(self, confidence):
+        results = []
+        table = MergePointTable(confidence=confidence, max_fails=16,
+                                on_converged=results.append)
+        table.load(self.BRANCH, self.TARGET)
+        return table, results
+
+    @pytest.mark.parametrize("confidence", [1, 2, 4, 7])
+    def test_never_promotes_below_threshold(self, confidence):
+        table, results = self.make_table(confidence)
+        # learning: one frame per direction selects the candidate
+        self._frame(table, True, self._taken())
+        self._frame(table, False, self._nt())
+        # now exactly confidence-1 verifying frames: must NOT converge
+        for i in range(confidence - 1):
+            self._frame(table, bool(i % 2), self._taken() if i % 2 else self._nt())
+            assert not results, (
+                f"promoted after {i + 1} verifications with "
+                f"confidence={confidence}"
+            )
+        # the threshold-th verification converges
+        self._frame(table, True, self._taken())
+        table.observe_retire(self.BRANCH, True, True)  # finalize last frame
+        assert len(results) == 1
+        assert results[0].reconv_pc == self.MERGE
+
+    def test_miss_resets_confidence(self):
+        table, results = self.make_table(confidence=2)
+        self._frame(table, True, self._taken())
+        self._frame(table, False, self._nt())
+        self._frame(table, True, self._taken())          # conf -> 1
+        self._frame(table, True, [self.TARGET, 115])     # miss: no merge PC
+        # entry is back in LEARN with paths cleared; one more verifying
+        # frame must not converge (it is a learning frame again)
+        self._frame(table, True, self._taken())
+        table.observe_retire(self.BRANCH, True, True)
+        assert not results
+        entry = table.table[self.BRANCH]
+        assert entry.fails == 1
+
+    def test_max_fails_evicts_as_unlearnable(self):
+        failed = []
+        table = MergePointTable(confidence=2, max_fails=2,
+                                on_failed=failed.append)
+        table.load(self.BRANCH, self.TARGET)
+        for _ in range(2):
+            self._frame(table, True, [self.TARGET, 115])   # disjoint paths:
+            self._frame(table, False, [101, 102])          # no common PC
+        table.observe_retire(self.BRANCH, True, True)
+        assert failed == [self.BRANCH]
+        assert self.BRANCH not in table.table
+
+
+class TestBoundedHardware:
+    def test_entry_capacity_and_fifo_eviction(self):
+        table = MergePointTable(entries=4)
+        for i in range(10):
+            pc = 100 + 10 * i
+            table.load(pc, pc + 5)
+            assert len(table.table) <= 4
+        assert table.evictions == 6
+        # insertion-order-oldest evicted: the survivors are the last four
+        assert sorted(table.table) == [160, 170, 180, 190]
+
+    def test_eviction_drops_orphan_frames(self):
+        table = MergePointTable(entries=1)
+        table.load(100, 110)
+        table.observe_retire(100, True, True)   # opens a frame for 100
+        assert len(table.frames) == 1
+        table.load(200, 210)                    # evicts 100
+        assert 100 not in table.table
+        assert not table.frames                 # its frame went with it
+
+    def test_frame_stack_depth_bounded(self):
+        table = MergePointTable(stack_depth=3, path_limit=1000)
+        table.load(100, 110)
+        for _ in range(20):
+            table.observe_retire(100, True, True)
+            table.observe_retire(101, False, False)
+        assert len(table.frames) <= 3
+
+    def test_path_limit_bounds_recording(self):
+        table = MergePointTable(path_limit=8)
+        table.load(100, 110)
+        table.observe_retire(100, True, True)
+        for pc in range(200, 240):
+            table.observe_retire(pc, False, False)
+        # the frame finalized at the limit instead of growing unboundedly
+        assert not table.frames
+        entry = table.table[100]
+        assert entry.taken_path is not None
+        assert len(entry.taken_path) == 8
+
+    def test_storage_bits_scale_with_knobs(self):
+        small = MergePointTable(entries=4, path_limit=16, stack_depth=2)
+        big = MergePointTable(entries=16, path_limit=96, stack_depth=8)
+        assert 0 < small.storage_bits() < big.storage_bits()

@@ -4,8 +4,10 @@ Convert + replay must be deterministic end to end: the same committed
 trace bytes must produce bit-identical :class:`~repro.core.stats.SimStats`
 under every run — across processes, platforms, and refactors of the
 reconstruction pipeline.  This pins every counter for each mini-trace
-under ``baseline`` and ``acb``; the CI ``trace-ingest`` job replays the
-same matrix from a fresh checkout and diffs against these files.
+under ``baseline``, ``acb``, the dynamic merge-point backend
+(``acb-dmp-reconv``) and ACB over the Bullseye predictor
+(``acb@bullseye``); the CI ``trace-ingest`` job replays the same matrix
+from a fresh checkout and diffs against these files.
 
 A legitimate change to the reconstruction (block layout, filler shape,
 scale policy) must regenerate deliberately::
@@ -29,7 +31,7 @@ GOLDEN_PATH = os.path.join(
 )
 
 MINI_TRACES = ("h2p_loop", "gcc_like", "server_like", "mixed_small")
-CONFIGS = ("baseline", "acb")
+CONFIGS = ("baseline", "acb", "acb-dmp-reconv", "acb@bullseye")
 
 #: windows long enough for ACB to predicate on every mini-trace, short
 #: enough that the 4x2 matrix stays in unit-test time

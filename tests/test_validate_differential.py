@@ -4,8 +4,10 @@ validator actually catches bugs.
 Two halves:
 
 * a fixed-seed fuzz corpus (20 seeds through the full random-program
-  generator) must cross-check clean for baseline and ACB, and the seed →
-  spec expansion must be deterministic and JSON round-trippable;
+  generator) must cross-check clean for the default config sweep —
+  baseline, ACB, ACB over the dynamic merge-point learner, and ACB over
+  the Bullseye predictor — and the seed → spec expansion must be
+  deterministic and JSON round-trippable;
 * deliberately-broken engine variants (predication resolving the *wrong*
   side; flush recovery skipping the RAT checkpoint restore) must be caught —
   the first by the trace diff, the second by the invariant checker.
