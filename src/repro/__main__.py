@@ -35,6 +35,16 @@ Commands
     schema-versioned ``BENCH_<tag>.json``; ``--compare`` prints speedups
     against an earlier report and exits nonzero past the regression
     threshold (see docs/performance.md).
+``serve [--port 8321] [--db FILE]``
+    Run the simulation service: an HTTP API that accepts experiment
+    matrices as JSON, executes them on a background job queue, and backs
+    them with the SQLite experiment database (see docs/service.md).
+``submit WORKLOAD [WORKLOAD ...] [--configs ...] [--url URL]``
+    Client for a running service: submit a workload × config matrix over
+    HTTP, stream progress, and print the fetched results.
+``runs [--workload W] [--config C] [--url URL | --db FILE]``
+    Query the experiment database — every run ever executed, keyed by
+    config hash — over HTTP or directly from the SQLite file.
 
 Global options
 --------------
@@ -44,6 +54,9 @@ Global options
                    ``.repro_cache``); repeated invocations of the same
                    matrix skip already-simulated cells.
 ``--no-cache``     disable the persistent cache for this invocation.
+``--store FILE``   attach the durable experiment database as a second
+                   cache level below ``.repro_cache/`` (the ``serve``
+                   command always attaches its own).
 """
 
 from __future__ import annotations
@@ -224,81 +237,35 @@ _TRACE_FORMATS = ("konata", "chrome", "log", "timeline")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    import time
-    from dataclasses import replace as dc_replace
-
-    from repro.core.config import SKYLAKE_LIKE, scaled
-    from repro.core.engine import Core
     from repro.harness.parallel import record_artifacts
-    from repro.harness.runner import resolve_workload, scheme_for
-    from repro.trace import (
-        TraceConfig,
-        export_chrome,
-        export_konata,
-        format_acb_log,
-        format_branch_timeline,
-    )
+    from repro.trace.driver import run_traced
 
-    formats = list(dict.fromkeys(args.formats)) if args.formats else list(_TRACE_FORMATS)
-    for fmt in formats:
-        if fmt not in _TRACE_FORMATS:
-            print(f"unknown format {fmt!r}; choose from {_TRACE_FORMATS}",
-                  file=sys.stderr)
-            return 2
-
-    workload = resolve_workload(args.workload)
-    trace_cfg = TraceConfig(
-        uop_capacity=args.uop_capacity, acb_capacity=args.acb_capacity
-    )
-    core_cfg = dc_replace(scaled(args.scale, SKYLAKE_LIKE), trace=trace_cfg)
-    scheme = scheme_for(workload, args.config)
-    scheme_name, predictor = split_config(args.config)
-    if scheme_name == "oracle-bp":
-        predictor = "oracle"
-    started = time.perf_counter()
-    core = Core(workload, core_cfg, scheme=scheme, predictor=predictor)
-    stats = core.run_window(args.warmup, args.measure)
-    core.trace.finish(core.cycle)
-    elapsed = time.perf_counter() - started
-
-    slug = args.workload.replace(":", "_").replace("/", "_")
-    out_dir = args.out or os.path.join(".repro_traces", f"{slug}-{args.config}")
-    os.makedirs(out_dir, exist_ok=True)
-    written = []
-    if "konata" in formats:
-        path = os.path.join(out_dir, "trace.konata")
-        count = export_konata(core.trace, path)
-        written.append(path)
-        print(f"  {path}: {count} uops (open with the Konata pipeline viewer)")
-    if "chrome" in formats:
-        path = os.path.join(out_dir, "trace.json")
-        count = export_chrome(core.trace, path)
-        written.append(path)
-        print(f"  {path}: {count} events (load at https://ui.perfetto.dev)")
-    if "log" in formats:
-        path = os.path.join(out_dir, "acb_log.txt")
-        with open(path, "w") as handle:
-            handle.write(format_acb_log(core.trace))
-        written.append(path)
-        print(f"  {path}: {core.trace.acb_seen} ACB decision events")
-    if "timeline" in formats:
-        path = os.path.join(out_dir, "timeline.txt")
-        with open(path, "w") as handle:
-            handle.write(format_branch_timeline(core.trace, pc=args.pc))
-        written.append(path)
-        print(f"  {path}: per-branch timeline")
-    record_artifacts(written, workload=args.workload, config=args.config,
-                     wall_time=elapsed)
+    try:
+        traced = run_traced(
+            args.workload, args.config,
+            out_dir=args.out, formats=args.formats,
+            warmup=args.warmup, measure=args.measure, scale=args.scale,
+            pc=args.pc, uop_capacity=args.uop_capacity,
+            acb_capacity=args.acb_capacity,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for artifact in traced.artifacts:
+        print(f"  {artifact.path}: {artifact.detail}")
+    record_artifacts(traced.paths, workload=args.workload, config=args.config,
+                     wall_time=traced.wall_time)
+    stats = traced.stats
     print(
         f"{args.workload} [{args.config}]: {stats.instructions} instructions, "
         f"{stats.cycles} cycles (IPC {stats.ipc:.3f}) — "
-        f"{core.trace.summary()}"
+        f"{traced.trace_summary}"
     )
-    if core.trace.truncated_uops or core.trace.truncated_acb:
+    if traced.truncated_uops or traced.truncated_acb:
         print(
             f"  warning: ring buffers wrapped "
-            f"({core.trace.truncated_uops} uops, "
-            f"{core.trace.truncated_acb} ACB events dropped); "
+            f"({traced.truncated_uops} uops, "
+            f"{traced.truncated_acb} ACB events dropped); "
             f"raise --uop-capacity/--acb-capacity or shrink the window",
             file=sys.stderr,
         )
@@ -413,6 +380,126 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ROUTES, Service, make_server
+    from repro.service.store import StoreSchemaError
+
+    try:
+        # Service.create installs the store below the JSON cache, so
+        # resubmitted matrices are served from the DB without re-simulation
+        service = Service.create(
+            db_path=args.db, artifact_dir=args.artifact_dir, jobs=args.jobs,
+        )
+    except StoreSchemaError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro service on http://{host}:{port}  "
+          f"(db: {service.store.path}, {service.store.count_runs()} stored runs)")
+    print(f"  {len(ROUTES)} routes under /api/v1 — see docs/service.md")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        job = client.submit(
+            workloads=args.workloads, configs=args.configs,
+            warmup=args.warmup, measure=args.measure,
+            core_scale=args.scale,
+        )
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    print(f"job {job['job_id']}: {job['total']} cells submitted "
+          f"to {client.url}")
+    if args.no_wait:
+        print(f"poll with: python -m repro runs --url {client.url}  "
+              f"(or GET /api/v1/jobs/{job['job_id']})")
+        return 0
+
+    def show(event):
+        if event["event"] == "cell":
+            print(f"  [{event['done']}/{event['total']}] "
+                  f"{event['workload']} × {event['config']} "
+                  f"({event['source']})", file=sys.stderr)
+
+    try:
+        status = client.wait(job["job_id"], timeout=args.timeout,
+                             on_event=show)
+        results = client.results(job["job_id"])
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    rows = []
+    for result in results:
+        stats = result["stats"]
+        cycles = stats.get("cycles", 0)
+        rows.append([
+            result["workload"],
+            result["config"],
+            f"{stats.get('instructions', 0) / cycles:.3f}" if cycles else "-",
+            str(stats.get("flushes", 0)),
+            result["run_id"],
+            result["source"],
+        ])
+    print(format_table(
+        ["workload", "config", "ipc", "flushes", "run_id", "source"], rows
+    ))
+    print(f"job {status['job_id']}: {status['simulated']} simulated, "
+          f"{status['cache_hits']} cache/store hits, "
+          f"wall {status['wall_time']:.2f}s")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    if args.url is not None:
+        from repro.service.client import ServiceClient, ServiceError
+
+        try:
+            rows = ServiceClient(args.url).runs(
+                workload=args.workload, config=args.config, limit=args.limit
+            )
+        except ServiceError as exc:
+            print(f"runs: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.service.store import ExperimentStore, StoreSchemaError
+
+        store = ExperimentStore(args.db, strict=True)
+        try:
+            rows = store.query_runs(
+                workload=args.workload, config=args.config, limit=args.limit
+            )
+        except StoreSchemaError as exc:
+            print(f"runs: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print("no stored runs match")
+        return 0
+    print(format_table(
+        ["run_id", "workload", "config", "window", "ipc", "created"],
+        [[r["run_id"], r["workload"], r["config"],
+          f"{r['warmup']}+{r['measure']}", f"{r['ipc']:.3f}", r["created"]]
+         for r in rows],
+    ))
+    return 0
+
+
 def _report_manifests() -> None:
     manifests = session_manifests()
     if manifests:
@@ -435,6 +522,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result cache directory (default: .repro_cache)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="attach the durable experiment database below the cache "
+             "(see docs/service.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -551,6 +643,60 @@ def main(argv=None) -> int:
                          help="attach a cProfile per-function breakdown")
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_srv = sub.add_parser(
+        "serve", help="run the simulation service (HTTP API + job queue)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8321,
+                       help="TCP port (default 8321; 0 = ephemeral)")
+    p_srv.add_argument("--db", default=None, metavar="FILE",
+                       help="experiment database "
+                            "(default .repro_store/experiments.sqlite)")
+    p_srv.add_argument("--artifact-dir", default=None, metavar="DIR",
+                       help="trace artifact directory "
+                            "(default: <db dir>/artifacts)")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a matrix to a running service over HTTP"
+    )
+    p_sub.add_argument("workloads", nargs="+", type=_workload_ref,
+                       metavar="WORKLOAD",
+                       help="suite workloads or trace:<name-or-path> refs")
+    p_sub.add_argument("--configs", nargs="+", type=_config_ref,
+                       default=["baseline", "acb"],
+                       help="configuration names, optionally @<predictor>")
+    p_sub.add_argument("--url", default=None,
+                       help="service base URL (default: REPRO_SERVICE_URL, "
+                            "else http://127.0.0.1:8321)")
+    p_sub.add_argument("--warmup", type=int, default=None)
+    p_sub.add_argument("--measure", type=int, default=None)
+    p_sub.add_argument("--scale", type=int, default=None,
+                       help="core scale factor for every cell")
+    p_sub.add_argument("--timeout", type=float, default=600.0,
+                       help="seconds to wait for completion (default 600)")
+    p_sub.add_argument("--no-wait", action="store_true",
+                       help="print the job id and return without waiting")
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_runs = sub.add_parser(
+        "runs", help="query the experiment database (HTTP or local file)"
+    )
+    p_runs.add_argument("--url", default=None,
+                        help="query a running service instead of a local DB")
+    p_runs.add_argument("--db", default=None, metavar="FILE",
+                        help="experiment database file "
+                             "(default .repro_store/experiments.sqlite)")
+    p_runs.add_argument("--workload", default=None)
+    p_runs.add_argument("--config", default=None)
+    p_runs.add_argument("--limit", type=int, default=50)
+    p_runs.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
+    p_runs.set_defaults(func=_cmd_runs)
+
     args = parser.parse_args(argv)
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
@@ -561,10 +707,24 @@ def main(argv=None) -> int:
     else:
         cache = ResultCache.from_env()
     previous = set_active_cache(cache)
+    previous_store = None
+    if args.store is not None and args.command != "serve":
+        from repro.harness.cache import set_active_store
+        from repro.service.store import ExperimentStore
+
+        # tolerant attach: a broken store degrades to warnings, it must
+        # never fail a CLI run that would otherwise simulate fine
+        previous_store = set_active_store(
+            ExperimentStore(args.store, strict=False)
+        )
     try:
         return args.func(args)
     finally:
         set_active_cache(previous)
+        if args.store is not None and args.command != "serve":
+            from repro.harness.cache import set_active_store
+
+            set_active_store(previous_store)
         _report_manifests()
 
 

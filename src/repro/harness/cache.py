@@ -181,3 +181,29 @@ def set_active_cache(cache: Optional[ResultCache]) -> Optional[ResultCache]:
 
 def get_active_cache() -> Optional[ResultCache]:
     return _ACTIVE
+
+
+# ----------------------------------------------------------------------
+# process-wide durable store (the L2 behind this cache)
+# ----------------------------------------------------------------------
+#: Anything with ``get(key) -> RunResult|None`` and ``put(key, result)``
+#: keyed by the same normalized run keys — in practice
+#: :class:`repro.service.store.ExperimentStore`.  Registered here (rather
+#: than imported) so the harness stays ignorant of the service layer.
+_ACTIVE_STORE = None
+
+
+def set_active_store(store):
+    """Install *store* as the durable result backend; returns the old one.
+
+    The lookup chain becomes memo → this cache (L1) → *store* (L2); store
+    hits are promoted into both upper layers, and completed runs write
+    through to all three (:func:`repro.harness.runner.store_result`).
+    """
+    global _ACTIVE_STORE
+    previous, _ACTIVE_STORE = _ACTIVE_STORE, store
+    return previous
+
+
+def get_active_store():
+    return _ACTIVE_STORE

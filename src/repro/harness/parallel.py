@@ -116,7 +116,7 @@ class CellRecord:
 
     workload: str
     config: str
-    source: str          # "run" | "memo" | "cache" | "dedup"
+    source: str          # "run" | "memo" | "cache" | "store" | "dedup"
     wall_time: float = 0.0
 
 
@@ -140,7 +140,10 @@ class MatrixManifest:
 
     @property
     def cache_hits(self) -> int:
-        return sum(1 for c in self.cells if c.source in ("memo", "cache", "dedup"))
+        return sum(
+            1 for c in self.cells
+            if c.source in ("memo", "cache", "store", "dedup")
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -188,10 +191,12 @@ def _execute_cell(request: RunRequest):
     """Pool worker: simulate one cell, reporting its wall time.
 
     Disk cache lookups/stores happen in the parent (which already probed
-    the cache before submitting), so workers run with caching disabled —
-    this also keeps forked workers from using a stale inherited handle.
+    the cache before submitting), so workers run with caching and the
+    durable store disabled — this also keeps forked workers from using a
+    stale inherited handle.
     """
     result_cache.set_active_cache(None)
+    result_cache.set_active_store(None)
     start = time.monotonic()
     result = run_workload(**request.kwargs())
     return result, time.monotonic() - start

@@ -233,11 +233,15 @@ def memo_size() -> int:
 
 
 def store_result(memo_key: tuple, result: RunResult) -> None:
-    """Record *result* in the memo and (when installed) the disk cache."""
+    """Record *result* in the memo and (when installed) the disk cache
+    and the durable experiment store — write-through across all layers."""
     _MEMO[memo_key] = result
     disk = result_cache.get_active_cache()
     if disk is not None:
         disk.put(memo_key, result)
+    store = result_cache.get_active_store()
+    if store is not None:
+        store.put(memo_key, result)
 
 
 def _relabel(result: RunResult, config: str) -> RunResult:
@@ -248,10 +252,12 @@ def _relabel(result: RunResult, config: str) -> RunResult:
 
 
 def lookup_cached(memo_key: tuple) -> Tuple[Optional[RunResult], Optional[str]]:
-    """Probe memo then disk cache for *memo_key*.
+    """Probe memo, then disk cache, then the durable experiment store.
 
-    Returns ``(result, source)`` where source is ``"memo"``, ``"cache"`` or
-    ``None``.  Disk hits are promoted into the in-process memo.
+    Returns ``(result, source)`` where source is ``"memo"``, ``"cache"``,
+    ``"store"`` or ``None``.  Hits promote upward: a disk hit enters the
+    memo, and a store hit additionally warms the disk cache — the JSON
+    cache is the L1 of the experiment database (docs/service.md).
     """
     if memo_key in _MEMO:
         return _MEMO[memo_key], "memo"
@@ -261,6 +267,14 @@ def lookup_cached(memo_key: tuple) -> Tuple[Optional[RunResult], Optional[str]]:
         if hit is not None:
             _MEMO[memo_key] = hit
             return hit, "cache"
+    store = result_cache.get_active_store()
+    if store is not None:
+        hit = store.get(memo_key)
+        if hit is not None:
+            _MEMO[memo_key] = hit
+            if disk is not None:
+                disk.put(memo_key, hit)
+            return hit, "store"
     return None, None
 
 

@@ -1,0 +1,188 @@
+"""urllib-only client for the service API (``repro submit`` / ``repro runs``).
+
+No third-party HTTP stack: the client the CLI, the tests, and the CI
+``service-smoke`` job all use is ~anything a user could paste from
+``docs/service.md`` with ``urllib.request``.  Base URL resolution:
+explicit argument, else the ``REPRO_SERVICE_URL`` environment variable,
+else ``http://127.0.0.1:8321``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+#: Environment override for the service base URL.
+ENV_SERVICE_URL = "REPRO_SERVICE_URL"
+
+DEFAULT_URL = "http://127.0.0.1:8321"
+
+
+def service_url(url: Optional[str] = None) -> str:
+    return (url or os.environ.get(ENV_SERVICE_URL, "").strip()
+            or DEFAULT_URL).rstrip("/")
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response; carries the HTTP status and decoded error body."""
+
+    def __init__(self, status: int, payload: Any):
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        problems = payload.get("problems") if isinstance(payload, dict) else None
+        message = f"HTTP {status}: {detail}"
+        if problems:
+            message += " (" + "; ".join(problems) + ")"
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Thin JSON client over one service base URL."""
+
+    def __init__(self, url: Optional[str] = None, timeout: float = 30.0):
+        self.url = service_url(url)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        query: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        url = self.url + path
+        if query:
+            pruned = {k: v for k, v in query.items() if v is not None}
+            if pruned:
+                url += "?" + urllib.parse.urlencode(pruned)
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = raw.decode(errors="replace")
+            raise ServiceError(exc.code, payload) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.url}: {exc.reason}"
+            ) from None
+        return json.loads(raw) if raw else None
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self.request("GET", "/api/v1/health")
+
+    def submit(
+        self,
+        cells: Optional[List[Dict]] = None,
+        workloads: Optional[List[str]] = None,
+        configs: Optional[List[str]] = None,
+        **defaults: Any,
+    ) -> Dict:
+        """Submit a matrix; returns the 202 body (``job_id``, cells)."""
+        body: Dict[str, Any] = dict(defaults)
+        if cells is not None:
+            body["cells"] = cells
+        if workloads is not None:
+            body["workloads"] = workloads
+        if configs is not None:
+            body["configs"] = configs
+        return self.request("POST", "/api/v1/jobs", body=body)
+
+    def job(self, job_id: str) -> Dict:
+        return self.request("GET", f"/api/v1/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> Dict:
+        return self.request(
+            "GET", f"/api/v1/jobs/{job_id}/events", query={"since": since}
+        )
+
+    def results(self, job_id: str) -> List[Dict]:
+        return self.request(
+            "GET", f"/api/v1/jobs/{job_id}/results"
+        )["results"]
+
+    def manifest(self, job_id: str) -> Dict:
+        return self.request("GET", f"/api/v1/jobs/{job_id}/manifest")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+        on_event: Optional[Callable[[Dict], None]] = None,
+    ) -> Dict:
+        """Poll until the job is terminal; returns its final status dict.
+
+        *on_event* receives each new progress event as it is observed.
+        Raises :class:`ServiceError` on job failure or timeout.
+        """
+        deadline = time.monotonic() + timeout
+        cursor = 0
+        while True:
+            if on_event is not None:
+                feed = self.events(job_id, since=cursor)
+                for event in feed["events"]:
+                    cursor = event["seq"]
+                    on_event(event)
+            status = self.job(job_id)
+            if status["status"] == "failed":
+                raise ServiceError(500, {"error": status.get("error")
+                                         or "job failed"})
+            if status["status"] == "done":
+                return status
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    0, f"job {job_id} still {status['status']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def runs(
+        self,
+        workload: Optional[str] = None,
+        config: Optional[str] = None,
+        limit: int = 100,
+    ) -> List[Dict]:
+        return self.request(
+            "GET", "/api/v1/runs",
+            query={"workload": workload, "config": config, "limit": limit},
+        )["runs"]
+
+    def run(self, run_id: str) -> Dict:
+        return self.request("GET", f"/api/v1/runs/{run_id}")
+
+    def trace(self, workload: str, config: str = "acb", **options: Any) -> Dict:
+        return self.request(
+            "POST", "/api/v1/trace",
+            body={"workload": workload, "config": config, **options},
+        )
+
+    def artifacts(self, job_id: str) -> List[Dict]:
+        return self.request(
+            "GET", f"/api/v1/jobs/{job_id}/artifacts"
+        )["artifacts"]
+
+    def artifact(self, artifact_id: int) -> bytes:
+        url = f"{self.url}/api/v1/artifacts/{artifact_id}"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, exc.read().decode(errors="replace")
+                               ) from None

@@ -1,0 +1,268 @@
+"""Background job queue: submitted matrices → ``run_matrix`` → the store.
+
+A *job* is one submitted :class:`~repro.harness.parallel.RunRequest`
+matrix.  The queue executes jobs one at a time on a worker thread — the
+parallelism lives *inside* each job, which fans its cells out over the
+shared process pool via :func:`~repro.harness.parallel.run_matrix` — and
+reports per-cell progress events as chunks complete, so the HTTP layer
+can stream them.
+
+Every completed cell is written through to the experiment store under its
+normalized config-hash ``run_id`` (idempotent), regardless of whether the
+cell was freshly simulated or served from the memo / JSON cache / store —
+so the durable database converges on the union of everything any client
+ever ran.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.harness.parallel import CellRecord, RunRequest, last_manifest, run_matrix
+from repro.harness.runner import RunResult
+from repro.service.store import ExperimentStore, run_id_for, utcnow
+
+#: Job lifecycle.  queued → running → done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class JobCell:
+    """One matrix cell and how the job satisfied it."""
+
+    index: int
+    request: RunRequest
+    run_id: str
+    source: Optional[str] = None   # run | memo | cache | store | dedup
+    wall_time: float = 0.0
+    result: Optional[RunResult] = None
+
+    def summary(self) -> Dict[str, Any]:
+        out = {
+            "index": self.index,
+            "run_id": self.run_id,
+            "workload": self.request.workload_name,
+            "config": self.request.config,
+        }
+        if self.source is not None:
+            out["source"] = self.source
+            out["wall_time"] = round(self.wall_time, 4)
+        return out
+
+
+@dataclass
+class Job:
+    """One submitted matrix working its way through the queue."""
+
+    job_id: str
+    cells: List[JobCell]
+    request: Dict[str, Any]
+    status: str = "queued"
+    error: Optional[str] = None
+    submitted: str = field(default_factory=utcnow)
+    started: Optional[str] = None
+    finished: Optional[str] = None
+    wall_time: float = 0.0
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def done_cells(self) -> int:
+        return sum(1 for c in self.cells if c.source is not None)
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for c in self.cells if c.source == "run")
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(
+            1 for c in self.cells
+            if c.source in ("memo", "cache", "store", "dedup")
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def add_event(self, event: str, **payload: Any) -> None:
+        with self._lock:
+            self.events.append(
+                {"seq": len(self.events) + 1, "event": event, **payload}
+            )
+
+    def events_since(self, since: int = 0) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [e for e in self.events if e["seq"] > since]
+
+    def status_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": "matrix",
+            "status": self.status,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "total": self.total,
+            "done": self.done_cells,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "wall_time": round(self.wall_time, 4),
+            "error": self.error,
+            "events": len(self.events),
+        }
+
+    def manifest_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "wall_time": round(self.wall_time, 4),
+            "cells": [c.summary() for c in self.cells],
+        }
+
+
+def new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+class JobQueue:
+    """Worker thread executing submitted matrices through ``run_matrix``.
+
+    *jobs* is the process-pool width each matrix fans out over (``None``:
+    ``REPRO_JOBS``, else all cores).  Cells execute in chunks of the pool
+    width so progress events fire as the matrix advances rather than only
+    at the end.
+    """
+
+    def __init__(self, store: ExperimentStore, jobs: Optional[int] = None):
+        self.store = store
+        self.jobs = jobs
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._work, name="repro-job-queue", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, requests: List[RunRequest]) -> Job:
+        """Enqueue a matrix; returns the (still queued) job immediately."""
+        cells = []
+        for i, request in enumerate(requests):
+            key = request.memo_key()
+            if key is None:
+                raise ValueError(
+                    f"cell {i} ({request.workload_name!r} × "
+                    f"{request.config!r}) is not addressable by a config "
+                    f"hash; the service accepts suite/frontier/trace "
+                    f"workloads by name with default core/ACB config"
+                )
+            cells.append(JobCell(index=i, request=request, run_id=run_id_for(key)))
+        job = Job(
+            job_id=new_job_id(),
+            cells=cells,
+            request={"cells": [c.summary() for c in cells]},
+        )
+        job.add_event("queued", total=job.total)
+        with self._lock:
+            self._jobs[job.job_id] = job
+        self.store.record_job(
+            job.job_id, "queued", job.request, submitted=job.submitted
+        )
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def snapshot(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> Optional[Job]:
+        """Block until *job_id* reaches a terminal state (tests, CLI)."""
+        deadline = time.monotonic() + timeout
+        job = self.get(job_id)
+        while job is not None and not job.terminal:
+            if time.monotonic() > deadline:
+                return job
+            time.sleep(0.02)
+        return job
+
+    def close(self) -> None:
+        """Finish the in-flight job, then stop the worker thread."""
+        self._queue.put(None)
+        self._worker.join(timeout=60)
+
+    # ------------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                self._execute(job)
+            except Exception as exc:  # a failed job must not kill the queue
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished = utcnow()
+                job.add_event("failed", error=job.error)
+                self.store.update_job(
+                    job.job_id, status="failed", error=job.error,
+                    finished=job.finished,
+                )
+
+    def _execute(self, job: Job) -> None:
+        job.status = "running"
+        job.started = utcnow()
+        job.add_event("running", total=job.total)
+        self.store.update_job(job.job_id, status="running", started=job.started)
+        started = time.monotonic()
+        chunk = max(1, self.jobs or 1)
+        for lo in range(0, job.total, chunk):
+            cells = job.cells[lo:lo + chunk]
+            results = run_matrix([c.request for c in cells], jobs=self.jobs)
+            manifest = last_manifest()
+            records = manifest.cells if manifest is not None else []
+            if len(records) != len(cells):  # another thread's manifest raced in
+                records = [
+                    CellRecord(c.request.workload_name, c.request.config, "run")
+                    for c in cells
+                ]
+            for cell, result, record in zip(cells, results, records):
+                cell.result = result
+                cell.source = record.source
+                cell.wall_time = record.wall_time
+                self.store.put(
+                    cell.request.memo_key(), result, job_id=job.job_id
+                )
+                job.add_event(
+                    "cell",
+                    done=job.done_cells,
+                    total=job.total,
+                    **cell.summary(),
+                )
+        job.wall_time = time.monotonic() - started
+        job.status = "done"
+        job.finished = utcnow()
+        job.add_event(
+            "done",
+            total=job.total,
+            simulated=job.simulated,
+            cache_hits=job.cache_hits,
+            wall_time=round(job.wall_time, 4),
+        )
+        self.store.update_job(
+            job.job_id, status="done", finished=job.finished,
+            manifest=job.manifest_dict(),
+        )

@@ -1,0 +1,498 @@
+"""The experiment database: a durable, queryable store of every run.
+
+``.repro_cache/`` (:mod:`repro.harness.cache`) is a content-addressed JSON
+cache: fast, disposable, one file per cell.  This module is the layer
+*below* it — a single SQLite file that keeps every :class:`RunResult` ever
+executed, plus the jobs that produced them and any trace artifacts they
+exported, so experiment history survives cache eviction and is queryable
+by config hash (``repro runs``, ``GET /api/v1/runs``).
+
+Key discipline — **cache-key parity**: a run's ``run_id`` is
+:func:`repro.harness.cache.key_digest` over the *same* normalized run key
+the JSON cache uses.  The same configuration therefore hashes to the same
+identity in both stores, the cache is literally the L1 of this store, and
+bumping ``CACHE_SCHEMA_VERSION`` (the invalidation story for
+simulator-visible changes) re-keys new runs while old rows remain as
+queryable history.
+
+Schema evolution: the ``meta`` table records ``schema_version``.  Opening
+a database written by a *newer* schema raises :class:`StoreSchemaError`;
+an *older* database is migrated in place when a migration is registered
+in :data:`_MIGRATIONS`, and refused otherwise.  See ``docs/service.md``
+for the DDL and the migration policy.
+
+Robustness: constructed with ``strict=False`` (the harness attach path),
+a corrupt or locked database degrades to warnings — reads miss, writes
+drop — so a broken store can never fail a run that simulated fine.  The
+service itself opens ``strict=True`` and refuses loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import threading
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+from warnings import warn
+
+from repro.harness.cache import RunKey, key_digest
+
+#: Bump on any change to the table layout below; register a migration for
+#: upgrades that can be applied in place.
+STORE_SCHEMA_VERSION = 1
+
+SCHEMA_NAME = "repro-store"
+
+DEFAULT_STORE_DIR = ".repro_store"
+DEFAULT_STORE_NAME = "experiments.sqlite"
+
+#: Environment override for the database path (CLI ``--store``/``--db``
+#: take precedence).
+ENV_STORE = "REPRO_STORE"
+
+#: ``old_version -> upgrade(connection)`` hooks, applied in sequence until
+#: the database reaches STORE_SCHEMA_VERSION.  Empty at version 1.
+_MIGRATIONS: Dict[int, Any] = {}
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id     TEXT PRIMARY KEY,   -- key_digest(normalized run key)
+    run_key    TEXT NOT NULL,      -- the normalized key itself, as JSON
+    workload   TEXT NOT NULL,
+    config     TEXT NOT NULL,
+    core_scale INTEGER NOT NULL,
+    predictor  TEXT,
+    warmup     INTEGER NOT NULL,
+    measure    INTEGER NOT NULL,
+    category   TEXT NOT NULL,
+    paper_tag  TEXT NOT NULL,
+    stats      TEXT NOT NULL,      -- SimStats.to_dict() as JSON
+    created    TEXT NOT NULL,
+    job_id     TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_runs_workload ON runs(workload);
+CREATE INDEX IF NOT EXISTS idx_runs_config   ON runs(config);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id    TEXT PRIMARY KEY,
+    kind      TEXT NOT NULL,       -- "matrix" | "trace"
+    status    TEXT NOT NULL,       -- queued | running | done | failed
+    submitted TEXT NOT NULL,
+    started   TEXT,
+    finished  TEXT,
+    request   TEXT NOT NULL,       -- the submitted matrix, as JSON
+    manifest  TEXT,                -- per-cell sources + wall times, as JSON
+    error     TEXT
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    artifact_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id      TEXT NOT NULL,
+    name        TEXT NOT NULL,
+    format      TEXT NOT NULL,
+    path        TEXT NOT NULL,
+    bytes       INTEGER NOT NULL,
+    created     TEXT NOT NULL
+);
+"""
+
+
+class StoreSchemaError(RuntimeError):
+    """The database speaks a schema this code cannot (newer, or corrupt)."""
+
+
+def utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def run_id_for(key: RunKey) -> str:
+    """The run's durable identity — identical to the L1 cache file stem."""
+    return key_digest(key)
+
+
+@dataclass
+class StoreCounters:
+    """Hit/miss accounting, mirroring :class:`~repro.harness.cache.CacheCounters`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+
+class ExperimentStore:
+    """SQLite experiment database rooted at *path*.
+
+    Every public method opens a short-lived connection, so one instance is
+    safe to share across threads, and concurrent writers from separate
+    processes serialize on SQLite's file lock (``timeout`` seconds before
+    giving up).  Writes of the same ``run_id`` are idempotent
+    (``INSERT OR IGNORE`` — identical keys serialize identical payloads).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        strict: bool = True,
+        timeout: float = 5.0,
+    ):
+        self.path = pathlib.Path(
+            path
+            or os.environ.get(ENV_STORE, "").strip()
+            or os.path.join(DEFAULT_STORE_DIR, DEFAULT_STORE_NAME)
+        )
+        self.strict = strict
+        self.timeout = timeout
+        self.counters = StoreCounters()
+        self._ready = False
+        self._broken = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # connection / schema lifecycle
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    def _ensure(self) -> bool:
+        """Create or migrate the schema once; False when degraded."""
+        with self._lock:
+            if self._ready:
+                return True
+            if self._broken:
+                return False
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with self._connect() as conn:
+                    self._ensure_schema(conn)
+            except StoreSchemaError:
+                raise
+            except (sqlite3.Error, OSError) as exc:
+                if self.strict:
+                    raise StoreSchemaError(
+                        f"cannot open experiment store {self.path}: {exc}"
+                    ) from exc
+                warn(
+                    f"experiment store {self.path} unusable, continuing "
+                    f"without it: {exc}",
+                    RuntimeWarning,
+                )
+                self.counters.errors += 1
+                self._broken = True
+                return False
+            self._ready = True
+            return True
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        row = None
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError:
+            pass  # fresh database: meta does not exist yet
+        if row is None:
+            conn.executescript(_DDL)
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES(?, ?)",
+                ("schema", SCHEMA_NAME),
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES(?, ?)",
+                ("schema_version", str(STORE_SCHEMA_VERSION)),
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES(?, ?)",
+                ("created", utcnow()),
+            )
+            return
+        version = int(row["value"])
+        while version < STORE_SCHEMA_VERSION:
+            upgrade = _MIGRATIONS.get(version)
+            if upgrade is None:
+                raise StoreSchemaError(
+                    f"{self.path} is schema version {version} and no "
+                    f"migration to {STORE_SCHEMA_VERSION} is registered"
+                )
+            upgrade(conn)
+            version += 1
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(version),),
+            )
+        if version > STORE_SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"{self.path} is schema version {version}, newer than this "
+                f"code understands ({STORE_SCHEMA_VERSION}); refusing to touch it"
+            )
+
+    def _degrade(self, what: str, exc: Exception) -> None:
+        self.counters.errors += 1
+        if self.strict:
+            raise StoreSchemaError(f"experiment store {what} failed: {exc}") from exc
+        warn(f"experiment store {what} failed: {exc}", RuntimeWarning)
+
+    def schema_info(self) -> Dict[str, Any]:
+        if not self._ensure():
+            return {}
+        with self._connect() as conn:
+            rows = conn.execute("SELECT key, value FROM meta").fetchall()
+        info: Dict[str, Any] = {row["key"]: row["value"] for row in rows}
+        info["schema_version"] = int(info["schema_version"])
+        return info
+
+    # ------------------------------------------------------------------
+    # result-backend surface (duck-compatible with ResultCache)
+    # ------------------------------------------------------------------
+    def get(self, key: RunKey):
+        """Stored ``RunResult`` for *key*, or ``None`` on any kind of miss."""
+        from repro.core.stats import SimStats
+        from repro.harness.runner import RunResult  # circular at import time
+
+        try:
+            if not self._ensure():
+                return None
+            with self._connect() as conn:
+                row = conn.execute(
+                    "SELECT workload, category, paper_tag, config, stats "
+                    "FROM runs WHERE run_id = ?",
+                    (run_id_for(key),),
+                ).fetchone()
+        except StoreSchemaError:
+            raise
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("read", exc)
+            return None
+        if row is None:
+            self.counters.misses += 1
+            return None
+        try:
+            result = RunResult(
+                workload=row["workload"],
+                category=row["category"],
+                paper_tag=row["paper_tag"],
+                config=row["config"],
+                stats=SimStats.from_dict(json.loads(row["stats"])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            warn(f"ignoring corrupt store row for {key}: {exc}", RuntimeWarning)
+            self.counters.errors += 1
+            return None
+        self.counters.hits += 1
+        return result
+
+    def put(self, key: RunKey, result, job_id: Optional[str] = None) -> None:
+        """Persist *result* under *key* (idempotent; degrades on failure)."""
+        try:
+            if not self._ensure():
+                return
+            with self._connect() as conn:
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO runs(run_id, run_key, workload, "
+                    "config, core_scale, predictor, warmup, measure, "
+                    "category, paper_tag, stats, created, job_id) "
+                    "VALUES(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id_for(key),
+                        json.dumps(list(key)),
+                        key[0],
+                        key[1],
+                        key[2],
+                        key[3],
+                        key[4],
+                        key[5],
+                        result.category,
+                        result.paper_tag,
+                        json.dumps(result.stats.to_dict()),
+                        utcnow(),
+                        job_id,
+                    ),
+                )
+                if cursor.rowcount:
+                    self.counters.stores += 1
+        except StoreSchemaError:
+            raise
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("write", exc)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count_runs(self) -> int:
+        if not self._ensure():
+            return 0
+        with self._connect() as conn:
+            return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def query_runs(
+        self,
+        workload: Optional[str] = None,
+        config: Optional[str] = None,
+        limit: int = 100,
+    ) -> List[Dict[str, Any]]:
+        """Run summaries (no full stats), newest first."""
+        if not self._ensure():
+            return []
+        clauses, params = [], []
+        if workload is not None:
+            clauses.append("workload = ?")
+            params.append(workload)
+        if config is not None:
+            clauses.append("config = ?")
+            params.append(config)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT run_id, workload, config, core_scale, predictor, "
+                f"warmup, measure, stats, created, job_id FROM runs {where} "
+                "ORDER BY created DESC, run_id LIMIT ?",
+                (*params, max(1, limit)),
+            ).fetchall()
+        out = []
+        for row in rows:
+            stats = json.loads(row["stats"])
+            cycles = stats.get("cycles", 0)
+            out.append(
+                {
+                    "run_id": row["run_id"],
+                    "workload": row["workload"],
+                    "config": row["config"],
+                    "core_scale": row["core_scale"],
+                    "predictor": row["predictor"],
+                    "warmup": row["warmup"],
+                    "measure": row["measure"],
+                    "ipc": (
+                        round(stats.get("instructions", 0) / cycles, 4)
+                        if cycles
+                        else 0.0
+                    ),
+                    "created": row["created"],
+                    "job_id": row["job_id"],
+                }
+            )
+        return out
+
+    def get_run(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """One run's full record (normalized key + complete stats)."""
+        if not self._ensure():
+            return None
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        record = dict(row)
+        record["run_key"] = json.loads(record["run_key"])
+        record["stats"] = json.loads(record["stats"])
+        return record
+
+    # ------------------------------------------------------------------
+    # jobs
+    # ------------------------------------------------------------------
+    def record_job(
+        self,
+        job_id: str,
+        status: str,
+        request: Dict[str, Any],
+        kind: str = "matrix",
+        submitted: Optional[str] = None,
+    ) -> None:
+        if not self._ensure():
+            return
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO jobs(job_id, kind, status, submitted, "
+                "request) VALUES(?, ?, ?, ?, ?)",
+                (job_id, kind, status, submitted or utcnow(), json.dumps(request)),
+            )
+
+    def update_job(self, job_id: str, **fields: Any) -> None:
+        allowed = {"status", "started", "finished", "manifest", "error"}
+        unknown = set(fields) - allowed
+        if unknown:
+            raise ValueError(f"unknown job fields {sorted(unknown)}")
+        if not fields or not self._ensure():
+            return
+        values = {
+            k: (json.dumps(v) if k == "manifest" and v is not None else v)
+            for k, v in fields.items()
+        }
+        assignment = ", ".join(f"{k} = ?" for k in values)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE jobs SET {assignment} WHERE job_id = ?",
+                (*values.values(), job_id),
+            )
+
+    def get_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        if not self._ensure():
+            return None
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        record = dict(row)
+        record["request"] = json.loads(record["request"])
+        if record["manifest"]:
+            record["manifest"] = json.loads(record["manifest"])
+        return record
+
+    def list_jobs(self, limit: int = 50) -> List[Dict[str, Any]]:
+        if not self._ensure():
+            return []
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT job_id, kind, status, submitted, started, finished, "
+                "error FROM jobs ORDER BY submitted DESC, job_id LIMIT ?",
+                (max(1, limit),),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # artifacts
+    # ------------------------------------------------------------------
+    def add_artifact(self, job_id: str, name: str, fmt: str, path: str) -> int:
+        if not self._ensure():
+            return -1
+        size = os.path.getsize(path)
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "INSERT INTO artifacts(job_id, name, format, path, bytes, "
+                "created) VALUES(?, ?, ?, ?, ?, ?)",
+                (job_id, name, fmt, path, size, utcnow()),
+            )
+            return int(cursor.lastrowid)
+
+    def artifacts_for(self, job_id: str) -> List[Dict[str, Any]]:
+        if not self._ensure():
+            return []
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT artifact_id, job_id, name, format, path, bytes, "
+                "created FROM artifacts WHERE job_id = ? ORDER BY artifact_id",
+                (job_id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def get_artifact(self, artifact_id: int) -> Optional[Dict[str, Any]]:
+        if not self._ensure():
+            return None
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT artifact_id, job_id, name, format, path, bytes, "
+                "created FROM artifacts WHERE artifact_id = ?",
+                (artifact_id,),
+            ).fetchone()
+        return dict(row) if row is not None else None

@@ -34,6 +34,11 @@ from repro.trace.events import AcbTraceEvent
 from repro.trace.konata import export_konata
 from repro.trace.timeline import format_acb_log, format_branch_timeline
 
+# NOTE: repro.trace.driver (the traced-run driver shared by the CLI and
+# the service) is deliberately NOT re-exported here: it imports repro.core,
+# and repro.core.config imports repro.trace.config through this package,
+# so an eager import would be circular.  Import it as repro.trace.driver.
+
 __all__ = [
     "AcbTraceEvent",
     "TraceCollector",

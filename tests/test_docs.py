@@ -41,18 +41,30 @@ class TestRepoDocsPass:
     def test_bash_snippets_validate(self):
         subcommands = checker._cli_subcommands()
         assert "trace" in subcommands and "run" in subcommands
+        assert "serve" in subcommands and "submit" in subcommands
+        routes = checker.service_routes()
         findings = [
             f for path in checker.doc_files()
             for snippet in checker.snippets(path)
             if snippet.lang == "bash"
-            for f in checker.check_bash(snippet, subcommands)
+            for f in checker.check_bash(snippet, subcommands, routes)
         ]
         assert findings == []
+
+    def test_every_route_documented(self):
+        routes = checker.service_routes()
+        assert len(routes) >= 10
+        assert list(checker.check_route_coverage(routes)) == []
 
     def test_observability_doc_exists_and_indexed(self):
         assert os.path.exists(os.path.join(REPO, "docs", "observability.md"))
         readme = open(os.path.join(REPO, "README.md")).read()
         assert "docs/observability.md" in readme
+
+    def test_service_doc_indexed(self):
+        readme = open(os.path.join(REPO, "README.md")).read()
+        assert "docs/service.md" in readme
+        assert "CHANGES.md" in readme  # the project-status pointer
 
 
 class TestCheckerCatches:
@@ -72,15 +84,58 @@ class TestCheckerCatches:
         doc = tmp_path / "bad.md"
         doc.write_text("```bash\npython -m repro frobnicate lammps\n```\n")
         (snippet,) = checker.snippets(str(doc))
-        findings = list(checker.check_bash(snippet, {"run", "trace"}))
+        findings = list(checker.check_bash(snippet, {"run", "trace"}, []))
         assert findings and "frobnicate" in findings[0]
 
     def test_missing_path_detected(self, tmp_path):
         doc = tmp_path / "bad.md"
         doc.write_text("```bash\npytest tests/no_such_test.py\n```\n")
         (snippet,) = checker.snippets(str(doc))
-        findings = list(checker.check_bash(snippet, set()))
+        findings = list(checker.check_bash(snippet, set(), []))
         assert findings and "no_such_test.py" in findings[0]
+
+    def test_curl_against_unknown_route_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text(
+            "```bash\ncurl -s http://127.0.0.1:8321/api/v1/bogus\n```\n"
+        )
+        (snippet,) = checker.snippets(str(doc))
+        routes = checker.service_routes()
+        findings = list(checker.check_bash(snippet, set(), routes))
+        assert findings and "/api/v1/bogus" in findings[0]
+
+    def test_curl_wrong_method_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text(
+            "```bash\ncurl -s -X POST http://127.0.0.1:8321/api/v1/health\n```\n"
+        )
+        (snippet,) = checker.snippets(str(doc))
+        findings = list(
+            checker.check_bash(snippet, set(), checker.service_routes())
+        )
+        assert findings and "POST /api/v1/health" in findings[0]
+
+    def test_curl_placeholder_segment_matches_param(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text(
+            "```bash\n"
+            "curl -s 'http://127.0.0.1:8321/api/v1/jobs/<job_id>/events?since=3'\n"
+            "curl -s -X POST http://127.0.0.1:8321/api/v1/jobs \\\n"
+            "  -d '{\"workloads\": [\"lammps\"], \"configs\": [\"acb\"]}'\n"
+            "```\n"
+        )
+        (snippet,) = checker.snippets(str(doc))
+        findings = list(
+            checker.check_bash(snippet, set(), checker.service_routes())
+        )
+        assert findings == []
+
+    def test_undocumented_route_detected(self, tmp_path, monkeypatch):
+        doc = tmp_path / "service.md"
+        doc.write_text("# partial api docs\n\nGET /api/v1/health\n")
+        monkeypatch.setattr(checker, "SERVICE_DOC", str(doc))
+        findings = list(checker.check_route_coverage(checker.service_routes()))
+        assert findings and any("POST /api/v1/jobs" in f for f in findings)
 
     def test_syntax_error_detected(self, tmp_path):
         doc = tmp_path / "bad.md"

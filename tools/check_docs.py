@@ -21,6 +21,13 @@ Three passes over ``README.md`` and ``docs/*.md``:
    line by line: ``python -m repro <cmd>`` must name a real CLI
    subcommand, and path-like arguments to ``python``/``pytest`` must
    exist.  Nothing is executed — these blocks include full-matrix runs.
+4. **HTTP surface.**  The service docs are checked against the real
+   route table (``repro.service.app.ROUTES``): every documented
+   ``METHOD /api/v1/...`` heading must name a live route, every ``curl``
+   line in a bash block must target one, and every route must appear in
+   ``docs/service.md`` — the docs and the dispatcher cannot drift apart.
+   Python snippets that read ``REPRO_SERVICE_URL`` run against a real
+   service booted once on an ephemeral port in a scratch directory.
 
 Exit status 0 when everything passes; 1 with a per-finding report
 otherwise.
@@ -28,15 +35,17 @@ otherwise.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import re
 import subprocess
 import sys
 import tempfile
-from typing import Iterator, List, NamedTuple
+from typing import Iterator, List, NamedTuple, Optional
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SKIP_MARKER = "<!-- doccheck: skip -->"
+SERVICE_DOC = os.path.join(REPO, "docs", "service.md")
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
@@ -117,7 +126,7 @@ del _ds_load_suite
 """
 
 
-def check_python(snippet: Snippet) -> Iterator[str]:
+def check_python(snippet: Snippet, extra_env: Optional[dict] = None) -> Iterator[str]:
     where = f"{os.path.relpath(snippet.path, REPO)}:{snippet.line}"
     try:
         compile(snippet.text, where, "exec")
@@ -129,7 +138,7 @@ def check_python(snippet: Snippet) -> Iterator[str]:
     src = os.path.join(REPO, "src")
     prelude = _PY_PRELUDE.format(src=src)
     with tempfile.TemporaryDirectory() as scratch:
-        env = dict(os.environ, REPRO_CACHE="0")
+        env = dict(os.environ, REPRO_CACHE="0", **(extra_env or {}))
         proc = subprocess.run(
             [sys.executable, "-c", prelude + snippet.text],
             cwd=scratch, env=env, capture_output=True, text=True,
@@ -151,9 +160,20 @@ def _cli_subcommands() -> set:
     return set(match.group(1).split(",")) if match else set()
 
 
-def check_bash(snippet: Snippet, subcommands: set) -> Iterator[str]:
+def _join_continuations(text: str) -> List[str]:
+    """Merge backslash-continued lines so multi-line commands check whole."""
+    merged: List[str] = []
+    for raw in text.splitlines():
+        if merged and merged[-1].rstrip().endswith("\\"):
+            merged[-1] = merged[-1].rstrip()[:-1] + " " + raw.strip()
+        else:
+            merged.append(raw)
+    return merged
+
+
+def check_bash(snippet: Snippet, subcommands: set, routes: list) -> Iterator[str]:
     where = f"{os.path.relpath(snippet.path, REPO)}:{snippet.line}"
-    for raw in snippet.text.splitlines():
+    for raw in _join_continuations(snippet.text):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -169,8 +189,11 @@ def check_bash(snippet: Snippet, subcommands: set) -> Iterator[str]:
         cmd = words[0]
         if cmd in ("pip", "cd", "export"):
             continue
+        if cmd == "curl":
+            yield from check_curl(where, line, routes)
+            continue
         if cmd == "python" and words[1:3] == ["-m", "repro"]:
-            value_flags = {"--jobs", "--cache-dir"}  # global options w/ args
+            value_flags = {"--jobs", "--cache-dir", "--store"}  # options w/ args
             sub = None
             for prev, word in zip(words[2:], words[3:]):
                 if not word.startswith("-") and prev not in value_flags:
@@ -189,27 +212,110 @@ def check_bash(snippet: Snippet, subcommands: set) -> Iterator[str]:
                         yield f"{where}: references missing path {arg}"
 
 
+# ----------------------------------------------------------------------
+# pass 4: the documented HTTP surface vs the real route table
+# ----------------------------------------------------------------------
+def service_routes() -> List[tuple]:
+    """``(method, pattern)`` pairs from the live dispatcher table."""
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from repro.service.app import ROUTES
+    return [(route.method, route.pattern) for route in ROUTES]
+
+
+def _path_matches(pattern: str, path: str) -> bool:
+    want = pattern.strip("/").split("/")
+    got = path.strip("/").split("/")
+    if len(want) != len(got):
+        return False
+    for expected, actual in zip(want, got):
+        if expected.startswith("<") and expected.endswith(">"):
+            if not actual:
+                return False  # a parameter slot needs *some* segment
+        elif expected != actual:
+            return False
+    return True
+
+
+_CURL_PATH_RE = re.compile(r"/api/v1[^\s'\"?]*")
+_CURL_METHOD_RE = re.compile(r"(?:-X|--request)[ =]([A-Z]+)")
+
+
+def check_curl(where: str, line: str, routes: List[tuple]) -> Iterator[str]:
+    """A documented ``curl`` line must target a route that exists."""
+    paths = _CURL_PATH_RE.findall(line)
+    if not paths:
+        yield f"{where}: curl line does not target an /api/v1 path"
+        return
+    match = _CURL_METHOD_RE.search(line)
+    if match:
+        method = match.group(1)
+    elif " -d " in line or " --data" in line or " --json" in line:
+        method = "POST"  # curl switches to POST when a body is given
+    else:
+        method = "GET"
+    for path in paths:
+        if not any(m == method and _path_matches(p, path)
+                   for m, p in routes):
+            yield (f"{where}: `curl` targets {method} {path} — not in the "
+                   f"service route table")
+
+
+def check_route_coverage(routes: List[tuple]) -> Iterator[str]:
+    """Every route must be documented verbatim in docs/service.md."""
+    if not os.path.exists(SERVICE_DOC):
+        yield "docs/service.md missing — the service API reference is required"
+        return
+    text = open(SERVICE_DOC).read()
+    for method, pattern in routes:
+        if f"{method} {pattern}" not in text:
+            yield (f"docs/service.md: route `{method} {pattern}` is "
+                   f"undocumented (add a literal 'METHOD /path' heading)")
+
+
 def main() -> int:
     findings: List[str] = []
-    checked = [0, 0, 0]  # files, python snippets, bash snippets
+    checked = [0, 0, 0, 0]  # files, python snippets, bash snippets, curl lines
     subcommands = _cli_subcommands()
     if not subcommands:
         findings.append("could not determine CLI subcommands from --help")
-    for path in doc_files():
-        findings.extend(check_links(path))
-        checked[0] += 1
-        for snippet in snippets(path):
-            if snippet.lang == "python":
-                checked[1] += 1
-                findings.extend(check_python(snippet))
-            elif snippet.lang == "bash":
-                checked[2] += 1
-                findings.extend(check_bash(snippet, subcommands))
+    routes = service_routes()
+    findings.extend(check_route_coverage(routes))
+
+    files = doc_files()
+    per_file = {path: list(snippets(path)) for path in files}
+    needs_service = any(
+        s.lang == "python" and not s.skipped and "REPRO_SERVICE_URL" in s.text
+        for chunk in per_file.values() for s in chunk
+    )
+    with contextlib.ExitStack() as stack:
+        extra_env = {}
+        if needs_service:
+            from repro.service.app import background_server
+            scratch = stack.enter_context(tempfile.TemporaryDirectory())
+            extra_env["REPRO_SERVICE_URL"] = stack.enter_context(
+                background_server(db_path=os.path.join(scratch, "docs.sqlite"),
+                                  jobs=1)
+            )
+        for path in files:
+            findings.extend(check_links(path))
+            checked[0] += 1
+            for snippet in per_file[path]:
+                if snippet.lang == "python":
+                    checked[1] += 1
+                    findings.extend(check_python(snippet, extra_env))
+                elif snippet.lang == "bash":
+                    checked[2] += 1
+                    checked[3] += sum(
+                        1 for ln in _join_continuations(snippet.text)
+                        if ln.strip().startswith(("curl", "$ curl"))
+                    )
+                    findings.extend(check_bash(snippet, subcommands, routes))
     for finding in findings:
         print(f"FAIL {finding}")
     print(
         f"check_docs: {checked[0]} files, {checked[1]} python snippets "
-        f"executed, {checked[2]} bash snippets validated — "
+        f"executed, {checked[2]} bash snippets validated "
+        f"({checked[3]} curl lines), {len(routes)} routes cross-checked — "
         f"{len(findings)} finding(s)"
     )
     return 1 if findings else 0
