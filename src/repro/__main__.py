@@ -50,6 +50,11 @@ Global options
 --------------
 ``--jobs N``       fan simulation matrices out over N worker processes
                    (default: ``REPRO_JOBS`` env var, else all cores).
+``--lanes N``      batch matrix cells into lane packs of up to N cells
+                   over the same workload (the SoA lane engine,
+                   ``repro.core.lanes``); sets ``REPRO_LANES`` for the
+                   invocation.  ``0`` forces scalar dispatch.  SimStats
+                   are bit-identical either way.
 ``--cache-dir D``  persistent result cache location (default
                    ``.repro_cache``); repeated invocations of the same
                    matrix skip already-simulated cells.
@@ -357,6 +362,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     total_wall = sum(r["wall_s"] for r in report["runs"])
     print(f"{out_path}: {len(report['runs'])} runs, {total_wall:.1f}s total "
           f"({'quick' if args.quick else 'full'} matrix)")
+    from repro.bench.compare import lanes_speedup
+
+    for prefix, ratio in sorted(lanes_speedup(report).items()):
+        print(f"lanes vs scalar [{prefix}]: {ratio:.2f}x "
+              f"(both sides of this run, noise-free)")
     if report["profile"] is not None:
         top = report["profile"]["functions"][:8]
         print("hottest simulator functions (tottime):")
@@ -417,7 +427,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         job = client.submit(
             workloads=args.workloads, configs=args.configs,
             warmup=args.warmup, measure=args.measure,
-            core_scale=args.scale,
+            core_scale=args.scale, lanes=args.lanes,
         )
     except ServiceError as exc:
         print(f"submit: {exc}", file=sys.stderr)
@@ -516,6 +526,11 @@ def main(argv=None) -> int:
              "(default: REPRO_JOBS, else all cores)",
     )
     parser.add_argument(
+        "--lanes", type=int, default=None, metavar="N",
+        help="lane-pack width for matrix dispatch (sets REPRO_LANES; "
+             "0 = scalar engine, default: REPRO_LANES env var, else scalar)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the persistent result cache",
     )
@@ -564,9 +579,12 @@ def main(argv=None) -> int:
     p_val.add_argument("--budget", type=_parse_budget, default=None,
                        metavar="TIME", help="wall-clock budget, e.g. 120s or 2m")
     p_val.add_argument("--configs",
-                       default="baseline,acb,acb-dmp-reconv,acb@bullseye",
+                       default="baseline,acb,acb-dmp-reconv,acb@bullseye,"
+                               "acb+lanes",
                        help="comma-separated timing configurations to check "
-                            "(scheme names, optionally @<predictor>)")
+                            "(scheme names, optionally @<predictor>, "
+                            "optionally suffixed '+lanes' to drive the "
+                            "lane-engine functional replay)")
     p_val.add_argument("--instructions", type=int, default=1200,
                        help="architectural instructions per program")
     p_val.add_argument("--repro-dir", default=".repro_failures",
@@ -676,6 +694,9 @@ def main(argv=None) -> int:
     p_sub.add_argument("--measure", type=int, default=None)
     p_sub.add_argument("--scale", type=int, default=None,
                        help="core scale factor for every cell")
+    p_sub.add_argument("--lanes", type=int, default=None, metavar="N",
+                       help="lane-pack width the service should simulate "
+                            "the matrix under (0 = scalar engine)")
     p_sub.add_argument("--timeout", type=float, default=600.0,
                        help="seconds to wait for completion (default 600)")
     p_sub.add_argument("--no-wait", action="store_true",
@@ -700,6 +721,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.lanes is not None:
+        os.environ["REPRO_LANES"] = str(max(0, args.lanes))
     if args.no_cache:
         cache = None
     elif args.cache_dir is not None:

@@ -36,11 +36,68 @@ _PROFILE_FILES = (
 )
 
 
+def _run_matrix_target(target: BenchTarget) -> Dict[str, Any]:
+    """Time one end-to-end ``run_matrix`` invocation (group ``matrix``).
+
+    Every caching layer is detached and the in-process memo cleared on
+    both sides of the run, so each matrix target simulates all its cells
+    from scratch — the scalar and lanes targets time identical work.
+    ``jobs=1`` keeps the worker pool out of the measurement.
+    """
+    from repro.harness import cache as result_cache
+    from repro.harness.parallel import RunRequest, run_matrix
+    from repro.harness.runner import clear_memo
+
+    requests = [
+        RunRequest(workload, config,
+                   warmup=target.warmup, measure=target.measure)
+        for workload in target.matrix_workloads
+        for config in target.matrix_configs
+    ]
+    saved_cache = result_cache.get_active_cache()
+    saved_store = result_cache.get_active_store()
+    result_cache.set_active_cache(None)
+    result_cache.set_active_store(None)
+    clear_memo()
+    try:
+        started = time.perf_counter()
+        results = run_matrix(requests, jobs=1, lanes=target.lanes)
+        wall = time.perf_counter() - started
+    finally:
+        clear_memo()
+        result_cache.set_active_cache(saved_cache)
+        result_cache.set_active_store(saved_store)
+
+    cycles = sum(r.stats.cycles for r in results)
+    uops = sum(r.stats.retired_uops for r in results)
+    instructions = sum(r.stats.instructions for r in results)
+    return {
+        "name": target.name,
+        "group": target.group,
+        "workload": target.workload,
+        "config": target.config,
+        "warmup": target.warmup,
+        "measure": target.measure,
+        "wall_s": round(wall, 6),
+        "cycles": cycles,
+        "uops": uops,
+        "instructions": instructions,
+        "cycles_per_s": round(cycles / wall, 1),
+        "uops_per_s": round(uops / wall, 1),
+        "ipc": round(instructions / cycles if cycles else 0.0, 4),
+        "cells": len(requests),
+        "cells_per_s": round(len(requests) / wall, 3),
+        "lanes": target.lanes,
+    }
+
+
 def _run_target(target: BenchTarget) -> Dict[str, Any]:
     from repro.core import SKYLAKE_LIKE, Core, scaled
     from repro.harness.runner import scheme_for, split_config
     from repro.workloads import load_suite
 
+    if target.matrix_workloads:
+        return _run_matrix_target(target)
     if target.factory is not None:
         workload = target.factory()
     else:

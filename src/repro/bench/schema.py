@@ -35,6 +35,22 @@ Each run record::
       "ipc": 0.754                  # measurement-window IPC (sanity anchor)
     }
 
+Version 2 adds *matrix* run records (group ``"matrix"``): one record times
+an end-to-end ``run_matrix`` invocation rather than a single core.  Matrix
+records carry three extra keys::
+
+    {
+      ...,
+      "cells": 8,                   # matrix cells simulated
+      "cells_per_s": 6.5,           # cells / wall_s (matrix throughput)
+      "lanes": 8                    # lane-pack width (0 = scalar dispatch)
+    }
+
+and their ``cycles``/``uops``/``instructions`` are sums over the matrix's
+measurement windows.  The extra keys are optional per run record, so a v2
+tool accepts v1 reports unchanged (and v1 baselines simply have no matrix
+records to match).
+
 The ``cycles``/``uops``/``instructions``/``ipc`` fields are *simulation*
 results and must be machine-independent: two runs of the same tree on any
 host agree exactly (the bit-identical-stats invariant).  Only ``wall_s``
@@ -46,7 +62,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 SCHEMA_NAME = "repro-bench"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _TOP_REQUIRED = {
     "schema": str,
@@ -75,6 +91,14 @@ _RUN_REQUIRED = {
     "cycles_per_s": _NUMERIC,
     "uops_per_s": _NUMERIC,
     "ipc": _NUMERIC,
+}
+
+#: schema-v2 matrix-record keys; validated when present (v1 reports omit
+#: them, which stays valid).
+_RUN_OPTIONAL = {
+    "cells": int,
+    "cells_per_s": _NUMERIC,
+    "lanes": int,
 }
 
 
@@ -112,6 +136,13 @@ def validate_report(report: Any) -> List[str]:
             if key not in run:
                 problems.append(f"{where}: missing key {key!r}")
             elif not isinstance(run[key], expected) or isinstance(run[key], bool):
+                problems.append(
+                    f"{where}: {key!r} has wrong type {type(run[key]).__name__}"
+                )
+        for key, expected in _RUN_OPTIONAL.items():
+            if key in run and (
+                not isinstance(run[key], expected) or isinstance(run[key], bool)
+            ):
                 problems.append(
                     f"{where}: {key!r} has wrong type {type(run[key]).__name__}"
                 )

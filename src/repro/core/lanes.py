@@ -1,0 +1,373 @@
+"""Batched structure-of-arrays engine lanes.
+
+Every figure in the paper is a *matrix* of independent simulation cells,
+and most of a matrix re-executes the same workloads: fig6 alone runs each
+workload under several schemes.  The scalar driver pays the functional
+execution of a workload — behaviour RNG draws, state-dict traffic, decode
+— once per cell.  This module batches cells into *lane packs*: N cells
+("lanes") over the same workload step together through one pass of the
+driver loop, sharing a single memoized correct-path stream held in
+structure-of-arrays form.
+
+The key invariant that makes sharing sound: the correct-path functional
+stream depends only on ``(workload, seed_offset)`` — never on the scheme,
+predictor, or core configuration — because the timing simulator steps the
+:class:`~repro.workloads.workload.FunctionalExecutor` exactly once per
+correct-path fetch and rewinds divergent predicated regions to a snapshot
+before replaying the very same steps.  So one *leader* executor can
+materialize the stream once into flat ``array('q')`` columns
+(:class:`FuncTrace`) while every lane consumes a :class:`LaneFunc` replay
+view whose snapshot/restore state is a single integer cursor instead of a
+dict-copying :class:`~repro.workloads.behaviors.WorkloadState` snapshot.
+
+Per-lane SimStats are bit-identical to the scalar engine by construction:
+each lane *is* a normal :class:`~repro.core.Core` running the normal
+``run()`` loop — only sliced into bounded instruction quanta so the pack
+round-robins between lanes — and the replay view returns exactly the
+tuples the scalar executor produced.  The slicing preserves the scalar
+cycle-cap semantics by carrying one absolute cap per window
+(``cap = cycle + target * 80 + 200_000``, the ``run()`` default budget)
+across slices via ``max_cycles``.
+
+Straggler handling: lanes retire from the pack the moment their own
+warmup+measure window completes; remaining lanes keep stepping without
+them.  Enabled via ``run_matrix(..., lanes=N)`` or ``REPRO_LANES`` /
+``repro --lanes`` (see :mod:`repro.harness.parallel`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import Core
+from repro.workloads.workload import FunctionalExecutor, StepResult, Workload
+
+__all__ = [
+    "DEFAULT_LANES",
+    "SLICE_INSTRUCTIONS",
+    "FuncTrace",
+    "LaneFunc",
+    "pack_key",
+    "plan_packs",
+    "resolve_lanes",
+    "run_pack",
+]
+
+#: lane-pack width used when lanes are enabled without an explicit count.
+DEFAULT_LANES = 8
+
+#: instructions each lane advances per pass over the pack (the quantum of
+#: the round-robin).  Purely a scheduling knob: any value yields the same
+#: SimStats because slices only partition the scalar run loop.
+SLICE_INSTRUCTIONS = 2048
+
+
+def resolve_lanes(lanes: Optional[int] = None) -> int:
+    """Effective lane width: explicit argument, else ``REPRO_LANES``.
+
+    Returns ``0`` when the lane engine is off (the scalar dispatch path).
+    ``REPRO_LANES`` accepts an integer width or ``on``/``off`` spellings;
+    ``on`` means :data:`DEFAULT_LANES`.
+    """
+    if lanes is not None:
+        return max(0, int(lanes))
+    env = os.environ.get("REPRO_LANES", "").strip().lower()
+    if not env or env in ("0", "off", "false", "no"):
+        return 0
+    if env in ("on", "true", "yes"):
+        return DEFAULT_LANES
+    try:
+        return max(0, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_LANES must be an integer or on/off, got {env!r}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# shared functional stream
+# ----------------------------------------------------------------------
+class FuncTrace:
+    """Memoized correct-path stream of one workload, structure-of-arrays.
+
+    One *leader* :class:`FunctionalExecutor` advances the architectural
+    stream on demand; each executed step is appended to flat columns:
+
+    * ``pcs[i]`` / ``next_pcs[i]`` — ``array('q')`` program counters,
+    * ``taken[i]`` — ``array('b')``: ``-1`` non-branch, else 0/1,
+    * ``mem_addrs[i]`` — plain list of ``None`` or the functional address
+      (tri-state, and addresses are unbounded ints).
+
+    Lanes replay the columns through :class:`LaneFunc` cursors, so the
+    behaviour RNG and state-dict work is paid once per workload per pack
+    instead of once per lane.
+    """
+
+    __slots__ = ("workload", "leader", "pcs", "taken", "next_pcs",
+                 "mem_addrs", "length")
+
+    def __init__(self, workload: Workload, seed_offset: int = 0):
+        self.workload = workload
+        self.leader = FunctionalExecutor(workload, seed_offset)
+        self.pcs = array("q")
+        self.taken = array("b")
+        self.next_pcs = array("q")
+        self.mem_addrs: List[Optional[int]] = []
+        self.length = 0
+
+    def extend_to(self, n: int) -> None:
+        """Materialize the stream through step *n* (exclusive)."""
+        leader = self.leader
+        pcs = self.pcs
+        taken = self.taken
+        next_pcs = self.next_pcs
+        mem_addrs = self.mem_addrs
+        length = self.length
+        while length < n:
+            pc = leader.next_pc
+            t, nxt, addr = leader.step_fast(pc)
+            pcs.append(pc)
+            taken.append(-1 if t is None else (1 if t else 0))
+            next_pcs.append(nxt)
+            mem_addrs.append(addr)
+            length += 1
+        self.length = length
+
+
+class LaneFunc:
+    """Drop-in :class:`FunctionalExecutor` replaying a :class:`FuncTrace`.
+
+    The engine's whole contract with its functional stream is
+    ``step_fast`` / ``next_pc`` / ``snapshot`` / ``restore`` /
+    ``instr_count``; this view serves all of them from the shared columns
+    with an integer cursor.  Region rewind — a dict-copying state snapshot
+    on the scalar path — becomes storing and reassigning one int.
+    """
+
+    __slots__ = ("trace", "idx", "_pcs", "_taken", "_next_pcs", "_mem")
+
+    #: how far past the cursor the leader materializes on a miss.  The
+    #: stream is deterministic, so running the leader ahead of every lane
+    #: is unobservable; chunking amortizes the per-call overhead.
+    EXTEND_CHUNK = 512
+
+    def __init__(self, trace: FuncTrace):
+        self.trace = trace
+        self.idx = 0
+        # the column objects are append-only and identity-stable, so the
+        # per-step hot path can hold direct references.
+        self._pcs = trace.pcs
+        self._taken = trace.taken
+        self._next_pcs = trace.next_pcs
+        self._mem = trace.mem_addrs
+
+    @property
+    def workload(self) -> Workload:
+        return self.trace.workload
+
+    @property
+    def program(self):
+        return self.trace.workload.program
+
+    @property
+    def instr_count(self) -> int:
+        return self.idx
+
+    @property
+    def next_pc(self) -> int:
+        if self.idx >= self.trace.length:
+            self.trace.extend_to(self.idx + self.EXTEND_CHUNK)
+        return self._pcs[self.idx]
+
+    def step(self, pc: int) -> StepResult:
+        return StepResult(*self.step_fast(pc))
+
+    def step_fast(self, pc: int) -> tuple:
+        i = self.idx
+        if i >= self.trace.length:
+            self.trace.extend_to(i + self.EXTEND_CHUNK)
+        if self._pcs[i] != pc:
+            raise RuntimeError(
+                f"functional stream out of sync: expected pc={self._pcs[i]}, "
+                f"got {pc}"
+            )
+        t = self._taken[i]
+        self.idx = i + 1
+        return (None if t < 0 else t == 1, self._next_pcs[i], self._mem[i])
+
+    # -- rewind support: one int instead of a WorkloadState snapshot ----
+    def snapshot(self) -> int:
+        return self.idx
+
+    def restore(self, snap: int) -> None:
+        self.idx = snap
+
+
+# ----------------------------------------------------------------------
+# pack planning
+# ----------------------------------------------------------------------
+def pack_key(request) -> tuple:
+    """Grouping key for lane compatibility.
+
+    Lanes share a functional stream, which depends only on the workload
+    (the harness always runs ``seed_offset=0``), so cells pack together
+    exactly when they name the same workload — the config/predictor axis
+    is free to differ within a pack.  Ad-hoc :class:`Workload` objects key
+    by identity: equal-looking objects could still carry distinct
+    behaviour registries.
+    """
+    workload = request.workload
+    if isinstance(workload, str):
+        return ("name", workload)
+    return ("obj", id(workload))
+
+
+def plan_packs(ids: Sequence[int], requests, width: int) -> List[List[int]]:
+    """Partition pending request indices into lane packs of ≤ *width*."""
+    width = max(1, width)
+    groups: dict = {}
+    for i in ids:
+        groups.setdefault(pack_key(requests[i]), []).append(i)
+    packs: List[List[int]] = []
+    for group in groups.values():
+        for j in range(0, len(group), width):
+            packs.append(group[j:j + width])
+    return packs
+
+
+# ----------------------------------------------------------------------
+# pack execution
+# ----------------------------------------------------------------------
+class _Lane:
+    """One cell stepping inside a pack: a normal Core, run in slices."""
+
+    __slots__ = ("request", "workload_obj", "core", "warmup", "measure",
+                 "phase", "cap", "start_cycle", "wall", "result")
+
+    def __init__(self, request, workload_obj: Workload, core: Core,
+                 warmup: int, measure: int):
+        self.request = request
+        self.workload_obj = workload_obj
+        self.core = core
+        self.warmup = warmup
+        self.measure = measure
+        self.wall = 0.0
+        self.result = None
+        self.start_cycle = 0
+        # scalar run_window: run(warmup) computes an absolute cycle cap of
+        # cycle + warmup*80 + 200_000 on entry; carry the same cap across
+        # slices so DeadlockError fires on exactly the same cycle.
+        self.phase = 0  # 0 = warmup, 1 = measure
+        self.cap = core.cycle + warmup * 80 + 200_000
+        if warmup <= 0:
+            self._begin_measure()
+
+    def _begin_measure(self) -> None:
+        core = self.core
+        self.start_cycle = core.cycle
+        core.reset_stats()
+        self.cap = core.cycle + self.measure * 80 + 200_000
+        self.phase = 1
+
+    def advance(self, slice_size: int) -> bool:
+        """Step up to *slice_size* instructions; True when the lane is done."""
+        core = self.core
+        started = time.monotonic()
+        try:
+            if self.phase == 0:
+                target = min(self.warmup,
+                             core.stats.instructions + slice_size)
+                core.run(target, max_cycles=self.cap - core.cycle)
+                if core.stats.instructions >= self.warmup:
+                    self._begin_measure()
+                return False
+            target = min(self.measure, core.stats.instructions + slice_size)
+            core.run(target, max_cycles=self.cap - core.cycle)
+            if core.stats.instructions >= self.measure:
+                self._finish()
+                return True
+            return False
+        finally:
+            self.wall += time.monotonic() - started
+
+    def _finish(self) -> None:
+        from repro.harness.runner import RunResult
+
+        core = self.core
+        stats = core.stats
+        stats.cycles = core.cycle - self.start_cycle
+        workload_obj = self.workload_obj
+        self.result = RunResult(
+            workload=workload_obj.name,
+            category=workload_obj.category,
+            paper_tag=workload_obj.paper_tag,
+            config=self.request.config,
+            stats=stats,
+        )
+
+
+def run_pack(requests, slice_size: int = SLICE_INSTRUCTIONS):
+    """Execute one lane pack; returns ``[(RunResult, wall_seconds), ...]``.
+
+    All *requests* must share a :func:`pack_key` (the planner guarantees
+    it).  Each lane is prepared exactly as ``run_workload`` prepares a
+    scalar cell (same scheme/config/predictor resolution, via the shared
+    :func:`repro.harness.runner.prepare_run`), then the pack round-robins
+    ``slice_size``-instruction quanta over the live lanes until each has
+    finished its warmup+measure window.
+    """
+    from repro.harness import runner as _runner
+
+    first = requests[0].workload
+    if isinstance(first, str):
+        workload_obj = _runner.resolve_workload(first)
+    else:
+        workload_obj = first
+    trace = FuncTrace(workload_obj)
+
+    lanes: List[_Lane] = []
+    for request in requests:
+        started = time.monotonic()
+        try:
+            cfg, scheme, predictor = _runner.prepare_run(
+                workload_obj,
+                request.config,
+                core_scale=request.core_scale,
+                predictor=request.predictor,
+                acb_config=request.acb_config,
+                core_config=request.core_config,
+            )
+        except Exception as exc:
+            raise RuntimeError(
+                f"simulation cell {workload_obj.name!r} × "
+                f"{request.config!r} failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        warmup = (request.warmup if request.warmup is not None
+                  else _runner.default_warmup())
+        measure = (request.measure if request.measure is not None
+                   else _runner.default_measure())
+        core = Core(workload_obj, cfg, scheme=scheme, predictor=predictor,
+                    func=LaneFunc(trace))
+        lane = _Lane(request, workload_obj, core, warmup, measure)
+        lane.wall = time.monotonic() - started
+        lanes.append(lane)
+
+    active = list(lanes)
+    while active:
+        # snapshot the pack each pass: stragglers drop out mid-iteration
+        for lane in list(active):
+            try:
+                if lane.advance(slice_size):
+                    active.remove(lane)
+            except Exception as exc:
+                request = lane.request
+                name = (request.workload if isinstance(request.workload, str)
+                        else request.workload.name)
+                raise RuntimeError(
+                    f"simulation cell {name!r} × {request.config!r} "
+                    f"failed: {type(exc).__name__}: {exc}"
+                ) from exc
+    return [(lane.result, lane.wall) for lane in lanes]

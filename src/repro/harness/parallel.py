@@ -18,6 +18,7 @@ independently seeded.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import time
@@ -118,6 +119,9 @@ class CellRecord:
     config: str
     source: str          # "run" | "memo" | "cache" | "store" | "dedup"
     wall_time: float = 0.0
+    #: lane-pack width the cell was simulated under (0 = scalar engine).
+    #: Cache/memo/dedup hits keep 0: nothing was simulated for them.
+    lanes: int = 0
 
 
 @dataclass
@@ -126,6 +130,8 @@ class MatrixManifest:
 
     jobs: int = 1
     wall_time: float = 0.0
+    #: requested lane width for this matrix (0 = scalar dispatch).
+    lanes: int = 0
     cells: List[CellRecord] = field(default_factory=list)
     #: files written alongside the runs (trace exports, decision logs).
     artifacts: List[str] = field(default_factory=list)
@@ -209,6 +215,19 @@ def _cell_error(request: RunRequest, exc: BaseException) -> RuntimeError:
     )
 
 
+def _execute_pack(requests: List[RunRequest]):
+    """Pool worker: simulate one lane pack (see :mod:`repro.core.lanes`).
+
+    Same cache discipline as :func:`_execute_cell`: the parent owns every
+    cache/store layer, workers only simulate.
+    """
+    from repro.core.lanes import run_pack
+
+    result_cache.set_active_cache(None)
+    result_cache.set_active_store(None)
+    return run_pack(requests)
+
+
 # ----------------------------------------------------------------------
 # a lazily-created, reusable worker pool
 # ----------------------------------------------------------------------
@@ -234,12 +253,21 @@ def shutdown_pool() -> None:
         _POOL_JOBS = 0
 
 
+# the pool is module-global so matrices reuse warm workers, which means
+# nothing ever shut it down: a process that exited right after a matrix
+# left worker processes to be reaped by the interpreter's own teardown.
+# Register an explicit atexit hook so workers are joined deterministically.
+atexit.register(shutdown_pool)
+_ATEXIT_REGISTERED = True
+
+
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
 def run_matrix(
     requests: List[RunRequest],
     jobs: Optional[int] = None,
+    lanes: Optional[int] = None,
 ) -> List[RunResult]:
     """Evaluate a full experiment matrix, results in request order.
 
@@ -247,9 +275,20 @@ def run_matrix(
     re-simulated; duplicate cells within one matrix are simulated once.
     The accounting is appended to the session manifests
     (:func:`last_manifest`).
+
+    ``lanes`` selects the dispatch mode for cells that must actually be
+    simulated: ``0``/``None``-with-no-env runs each cell through the
+    scalar driver; ``N >= 1`` groups cells into lane packs of up to N
+    cells over the same workload and steps each pack through the batched
+    engine (:mod:`repro.core.lanes`), which is bit-identical in SimStats.
+    Unset, the width comes from ``REPRO_LANES``.  Lane packs compose with
+    ``jobs``: packs (instead of cells) fan out over the worker pool.
     """
+    from repro.core.lanes import resolve_lanes
+
     jobs = default_jobs() if jobs is None else max(1, jobs)
-    manifest = MatrixManifest(jobs=jobs)
+    lane_width = resolve_lanes(lanes)
+    manifest = MatrixManifest(jobs=jobs, lanes=lane_width)
     started = time.monotonic()
 
     results: List[Optional[RunResult]] = [None] * len(requests)
@@ -275,7 +314,9 @@ def run_matrix(
                 continue
         pending.append(i)
 
-    if jobs <= 1 or len(pending) <= 1:
+    if lane_width >= 1:
+        _run_lanes(requests, pending, results, records, lane_width, jobs)
+    elif jobs <= 1 or len(pending) <= 1:
         _run_serial(requests, pending, results, records)
     else:
         serial_ids = [i for i in pending if not _is_picklable(requests[i])]
@@ -367,6 +408,66 @@ def _run_serial(requests, ids, results, records) -> None:
             request.workload_name, request.config, "run",
             time.monotonic() - start,
         )
+
+
+def _commit_pack(requests, pack, outcomes, results, records) -> None:
+    """Record one executed lane pack's results into the matrix slots."""
+    width = len(pack)
+    for i, (result, elapsed) in zip(pack, outcomes):
+        results[i] = result
+        records[i] = CellRecord(
+            requests[i].workload_name, requests[i].config, "run",
+            elapsed, lanes=width,
+        )
+        key = requests[i].memo_key()
+        if key is not None:
+            store_result(key, result)
+
+
+def _run_lanes(requests, ids, results, records, width, jobs) -> None:
+    """Lane-pack dispatch: group, then run packs serially or over the pool."""
+    from repro.core.lanes import plan_packs, run_pack
+
+    packs = plan_packs(ids, requests, width)
+    serial_packs = packs
+    if jobs > 1 and len(packs) > 1:
+        serial_packs = [
+            p for p in packs if not all(_is_picklable(requests[i]) for i in p)
+        ]
+        skip = {id(p) for p in serial_packs}
+        pool_packs = [p for p in packs if id(p) not in skip]
+        if len(pool_packs) <= 1:
+            serial_packs = packs
+        else:
+            pool = _get_pool(jobs)
+            futures = {}
+            try:
+                for pack in pool_packs:
+                    futures[pool.submit(
+                        _execute_pack, [requests[i] for i in pack]
+                    )] = pack
+            except BrokenProcessPool as exc:
+                shutdown_pool()
+                raise RuntimeError(
+                    f"worker pool died while submitting lane packs: {exc}"
+                ) from exc
+            for future, pack in futures.items():
+                try:
+                    outcomes = future.result()
+                except BrokenProcessPool as exc:
+                    for other in futures:
+                        other.cancel()
+                    shutdown_pool()
+                    raise _cell_error(requests[pack[0]], exc) from exc
+                except Exception:
+                    for other in futures:
+                        other.cancel()
+                    # run_pack already names the failing cell
+                    raise
+                _commit_pack(requests, pack, outcomes, results, records)
+    for pack in serial_packs:
+        outcomes = run_pack([requests[i] for i in pack])
+        _commit_pack(requests, pack, outcomes, results, records)
 
 
 def _run_pool(requests, ids, results, records, jobs) -> None:

@@ -278,6 +278,37 @@ def lookup_cached(memo_key: tuple) -> Tuple[Optional[RunResult], Optional[str]]:
     return None, None
 
 
+def prepare_run(
+    workload_obj: Workload,
+    config: str,
+    core_scale: int = 1,
+    predictor: Optional[str] = None,
+    acb_config: Optional[AcbConfig] = None,
+    core_config: Optional[CoreConfig] = None,
+) -> Tuple[CoreConfig, Optional[PredicationScheme], Optional[str]]:
+    """Resolve one cell's ``(core config, scheme, predictor)``.
+
+    The single source of truth for how a named configuration turns into
+    :class:`~repro.core.Core` constructor arguments — shared by the scalar
+    driver below and the lane engine (:mod:`repro.core.lanes`), so both
+    construct bit-identical cores for the same cell.
+    """
+    scheme_name, cfg_predictor = split_config(config)
+    if scheme_name not in SCHEME_FACTORIES:
+        raise ValueError(
+            f"unknown config {scheme_name!r}; "
+            f"choose from {sorted(SCHEME_FACTORIES)} "
+            f"(optionally suffixed '@<predictor>')"
+        )
+    if cfg_predictor is not None:
+        predictor = cfg_predictor
+    scheme = scheme_for(workload_obj, config, acb_config=acb_config)
+    cfg = core_config if core_config is not None else scaled(core_scale, SKYLAKE_LIKE)
+    if scheme_name == "oracle-bp":
+        predictor = "oracle"
+    return cfg, scheme, predictor
+
+
 def run_workload(
     workload: Union[str, Workload],
     config: str = "baseline",
@@ -301,20 +332,10 @@ def run_workload(
         workload_obj = resolve_workload(workload)
     else:
         workload_obj = workload
-    scheme_name, cfg_predictor = split_config(config)
-    if scheme_name not in SCHEME_FACTORIES:
-        raise ValueError(
-            f"unknown config {scheme_name!r}; "
-            f"choose from {sorted(SCHEME_FACTORIES)} "
-            f"(optionally suffixed '@<predictor>')"
-        )
-    if cfg_predictor is not None:
-        predictor = cfg_predictor
-
-    scheme = scheme_for(workload_obj, config, acb_config=acb_config)
-    cfg = core_config if core_config is not None else scaled(core_scale, SKYLAKE_LIKE)
-    if scheme_name == "oracle-bp":
-        predictor = "oracle"
+    cfg, scheme, predictor = prepare_run(
+        workload_obj, config, core_scale=core_scale, predictor=predictor,
+        acb_config=acb_config, core_config=core_config,
+    )
     core = Core(workload_obj, cfg, scheme=scheme, predictor=predictor)
     stats = core.run_window(
         warmup if warmup is not None else default_warmup(),

@@ -139,6 +139,26 @@ def _int_field(payload: Dict, field: str, problems: List[str]) -> Optional[int]:
     return value
 
 
+def parse_lanes(payload: Any) -> Optional[int]:
+    """Top-level ``lanes`` field of a submitted matrix.
+
+    ``None``/absent defers to the server's environment (``REPRO_LANES``);
+    ``0`` forces scalar dispatch; ``N >= 1`` requests lane packs of up to
+    N cells (:mod:`repro.core.lanes`).  The chosen width is recorded in
+    the job manifest so stored results say how they were produced.
+    """
+    if not isinstance(payload, dict):
+        return None
+    value = payload.get("lanes")
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise BadRequest(
+            [f"lanes must be a non-negative integer, got {value!r}"]
+        )
+    return value
+
+
 def parse_matrix(payload: Any) -> List[RunRequest]:
     """Submitted JSON → validated ``RunRequest`` cells.
 
@@ -359,8 +379,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         })
 
     def submit_job(self) -> None:
-        requests = parse_matrix(self._read_json())
-        job = self.server.service.queue.submit(requests)
+        payload = self._read_json()
+        requests = parse_matrix(payload)
+        job = self.server.service.queue.submit(
+            requests, lanes=parse_lanes(payload)
+        )
         self._send_json(202, {
             "job_id": job.job_id,
             "status": job.status,

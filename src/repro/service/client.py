@@ -94,7 +94,13 @@ class ServiceClient:
         configs: Optional[List[str]] = None,
         **defaults: Any,
     ) -> Dict:
-        """Submit a matrix; returns the 202 body (``job_id``, cells)."""
+        """Submit a matrix; returns the 202 body (``job_id``, cells).
+
+        *defaults* become top-level body fields each cell may override —
+        ``warmup``/``measure``/``core_scale``/``predictor`` — plus the
+        matrix-level ``lanes`` width (0 = scalar engine, ``None`` lets the
+        server's ``REPRO_LANES`` decide; see docs/performance.md).
+        """
         body: Dict[str, Any] = dict(defaults)
         if cells is not None:
             body["cells"] = cells

@@ -40,6 +40,9 @@ class JobCell:
     run_id: str
     source: Optional[str] = None   # run | memo | cache | store | dedup
     wall_time: float = 0.0
+    #: lane-pack width the cell was simulated under (0 = scalar engine);
+    #: recorded so stored results remain reproducible.
+    lanes: int = 0
     result: Optional[RunResult] = None
 
     def summary(self) -> Dict[str, Any]:
@@ -52,6 +55,7 @@ class JobCell:
         if self.source is not None:
             out["source"] = self.source
             out["wall_time"] = round(self.wall_time, 4)
+            out["lanes"] = self.lanes
         return out
 
 
@@ -62,6 +66,8 @@ class Job:
     job_id: str
     cells: List[JobCell]
     request: Dict[str, Any]
+    #: requested lane width (None: server environment decides).
+    lanes: Optional[int] = None
     status: str = "queued"
     error: Optional[str] = None
     submitted: str = field(default_factory=utcnow)
@@ -125,6 +131,7 @@ class Job:
         return {
             "job_id": self.job_id,
             "wall_time": round(self.wall_time, 4),
+            "lanes": self.lanes,
             "cells": [c.summary() for c in self.cells],
         }
 
@@ -154,8 +161,15 @@ class JobQueue:
         self._worker.start()
 
     # ------------------------------------------------------------------
-    def submit(self, requests: List[RunRequest]) -> Job:
-        """Enqueue a matrix; returns the (still queued) job immediately."""
+    def submit(self, requests: List[RunRequest],
+               lanes: Optional[int] = None) -> Job:
+        """Enqueue a matrix; returns the (still queued) job immediately.
+
+        *lanes* selects the dispatch mode each chunk's ``run_matrix`` uses
+        (see :mod:`repro.core.lanes`); ``None`` defers to the server's
+        ``REPRO_LANES`` environment.  Results are bit-identical either
+        way; the manifest records the width actually used per cell.
+        """
         cells = []
         for i, request in enumerate(requests):
             key = request.memo_key()
@@ -170,7 +184,8 @@ class JobQueue:
         job = Job(
             job_id=new_job_id(),
             cells=cells,
-            request={"cells": [c.summary() for c in cells]},
+            request={"cells": [c.summary() for c in cells], "lanes": lanes},
+            lanes=lanes,
         )
         job.add_event("queued", total=job.total)
         with self._lock:
@@ -228,10 +243,17 @@ class JobQueue:
         job.add_event("running", total=job.total)
         self.store.update_job(job.job_id, status="running", started=job.started)
         started = time.monotonic()
-        chunk = max(1, self.jobs or 1)
+        # progress granularity: one pool-width of cells per run_matrix call
+        # — scaled by the lane width when lane packs are on, so chunking
+        # never splits cells that would have shared a pack.
+        from repro.core.lanes import resolve_lanes
+
+        chunk = max(1, self.jobs or 1) * max(1, resolve_lanes(job.lanes))
         for lo in range(0, job.total, chunk):
             cells = job.cells[lo:lo + chunk]
-            results = run_matrix([c.request for c in cells], jobs=self.jobs)
+            results = run_matrix(
+                [c.request for c in cells], jobs=self.jobs, lanes=job.lanes
+            )
             manifest = last_manifest()
             records = manifest.cells if manifest is not None else []
             if len(records) != len(cells):  # another thread's manifest raced in
@@ -243,6 +265,7 @@ class JobQueue:
                 cell.result = result
                 cell.source = record.source
                 cell.wall_time = record.wall_time
+                cell.lanes = record.lanes
                 self.store.put(
                     cell.request.memo_key(), result, job_id=job.job_id
                 )

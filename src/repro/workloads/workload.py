@@ -21,6 +21,12 @@ from repro.workloads.behaviors import (
     make_default_mem,
 )
 
+#: step-table row kinds (:meth:`Workload.step_rows`)
+STEP_PLAIN = 0
+STEP_COND = 1
+STEP_JUMP = 2
+STEP_MEM = 3
+
 
 @dataclass
 class Workload:
@@ -55,6 +61,9 @@ class Workload:
     #: DMP baseline's compiler pass — the train/test mismatch of Section II.
     train: Optional["Workload"] = None
     _mem_defaults: Dict[int, MemBehavior] = field(default_factory=dict, repr=False)
+    #: lazily-built dense decode table (:meth:`step_rows`), shared by every
+    #: executor over this workload — including all lanes of a pack.
+    _step_rows: Optional[list] = field(default=None, repr=False)
 
     def mem_behavior(self, pc: int) -> MemBehavior:
         """Behaviour for the memory instruction at *pc* (default: strided)."""
@@ -74,6 +83,36 @@ class Workload:
         if not isinstance(behavior, BranchBehavior):
             raise KeyError(f"conditional branch at pc={pc} has no branch behaviour")
         return behavior
+
+    # -- structure-of-arrays step table ---------------------------------
+    def step_rows(self) -> list:
+        """Dense per-pc decode table for functional stepping.
+
+        One slot per static instruction, filled on first execution of that
+        pc: ``(kind, target, fallthrough, behavior)`` with *kind* one of
+        :data:`STEP_PLAIN` / :data:`STEP_COND` / :data:`STEP_JUMP` /
+        :data:`STEP_MEM`.  A flat list indexed by pc replaces the per-pc
+        dict memos the executor used to keep, and because the table lives
+        on the workload it is built once no matter how many executors (or
+        lanes) run the program.  Rows are filled lazily so a misconfigured
+        instruction that is never executed keeps raising only when reached,
+        exactly as before.
+        """
+        if self._step_rows is None:
+            self._step_rows = [None] * len(self.program.instructions)
+        return self._step_rows
+
+    def decode_step(self, pc: int) -> tuple:
+        """Build the :meth:`step_rows` row for *pc*."""
+        instr = self.program[pc]
+        if instr.is_cond_branch:
+            return (STEP_COND, instr.target, instr.fallthrough,
+                    self.branch_behavior(pc))
+        if instr.is_branch:
+            return (STEP_JUMP, instr.target, 0, None)
+        if instr.is_mem:
+            return (STEP_MEM, 0, instr.fallthrough, self.mem_behavior(pc))
+        return (STEP_PLAIN, 0, instr.fallthrough, None)
 
 
 class StepResult(NamedTuple):
@@ -97,12 +136,11 @@ class FunctionalExecutor:
         self.program = workload.program
         self.state = WorkloadState(workload.seed + seed_offset)
         self.next_pc = 0
-        # per-pc behaviour objects, filled on first touch.  The workload's
-        # registry lookups return the same object for a pc every time, so
-        # memoizing them only removes the repeated dict/isinstance work
-        # from the one-call-per-instruction hot path.
-        self._branch_beh: Dict[int, "BranchBehavior"] = {}
-        self._mem_beh: Dict[int, MemBehavior] = {}
+        # dense per-pc decode rows, shared through the workload: one list
+        # index replaces the instruction attribute tests and behaviour
+        # registry lookups in the one-call-per-instruction hot path, and
+        # every executor over this workload reuses the same filled rows.
+        self._rows = workload.step_rows()
 
     @property
     def instr_count(self) -> int:
@@ -124,27 +162,23 @@ class FunctionalExecutor:
                 f"functional stream out of sync: expected pc={self.next_pc}, got {pc}"
             )
         state = self.state
-        instr = self.program[pc]
+        row = self._rows[pc]
+        if row is None:
+            row = self.workload.decode_step(pc)
+            self._rows[pc] = row
+        kind, target, fallthrough, beh = row
         taken: Optional[bool] = None
         mem_addr: Optional[int] = None
-        if instr.is_cond_branch:
-            beh = self._branch_beh.get(pc)
-            if beh is None:
-                beh = self.workload.branch_behavior(pc)
-                self._branch_beh[pc] = beh
+        if kind == STEP_COND:
             taken = beh.resolve(state)
-            nxt = instr.target if taken else instr.fallthrough
-        elif instr.is_branch:
+            nxt = target if taken else fallthrough
+        elif kind == STEP_JUMP:
             taken = True
-            nxt = instr.target
+            nxt = target
         else:
-            nxt = instr.fallthrough
-            if instr.is_mem:
-                mbeh = self._mem_beh.get(pc)
-                if mbeh is None:
-                    mbeh = self.workload.mem_behavior(pc)
-                    self._mem_beh[pc] = mbeh
-                mem_addr = mbeh.address(state)
+            nxt = fallthrough
+            if kind == STEP_MEM:
+                mem_addr = beh.address(state)
         state.instr_count += 1
         self.next_pc = nxt
         return (taken, nxt, mem_addr)

@@ -1,0 +1,323 @@
+"""Tests for the batched structure-of-arrays lane engine (core/lanes.py).
+
+The lane engine's whole contract is *bit-identical SimStats*: a cell run
+inside a lane pack — over the shared :class:`FuncTrace` replay columns,
+sliced into round-robin quanta — must produce exactly the stats the scalar
+driver produces.  This suite pins that three ways:
+
+* :class:`LaneFunc` replay vs. a live :class:`FunctionalExecutor`, step by
+  step and through snapshot/restore rewinds;
+* a full ``Core`` run over an injected ``LaneFunc`` against the committed
+  ``tests/golden/simstats_fuzz.json`` goldens, every scheme configuration;
+* ``run_matrix(..., lanes=W)`` for W in {1, 4, 16} against the scalar
+  dispatch on fuzz workloads, and against the committed
+  ``tests/golden/simstats_traces.json`` goldens on the four mini-traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SKYLAKE_LIKE, Core
+from repro.core.lanes import (
+    DEFAULT_LANES,
+    FuncTrace,
+    LaneFunc,
+    pack_key,
+    plan_packs,
+    resolve_lanes,
+    run_pack,
+)
+from repro.harness.parallel import RunRequest, last_manifest, run_matrix, shutdown_pool
+from repro.harness.runner import clear_memo
+from repro.validate.fuzz import random_spec
+from repro.workloads.generator import build_workload
+from repro.workloads.workload import FunctionalExecutor
+from tests.test_engine_golden_stats import (
+    CONFIGS as FUZZ_CONFIGS,
+    GOLDEN_PATH as FUZZ_GOLDEN_PATH,
+    INSTRUCTIONS as FUZZ_INSTRUCTIONS,
+    SEEDS as FUZZ_SEEDS,
+)
+from tests.test_trace_golden import (
+    CONFIGS as TRACE_CONFIGS,
+    GOLDEN_PATH as TRACE_GOLDEN_PATH,
+    MEASURE as TRACE_MEASURE,
+    MINI_TRACES,
+    WARMUP as TRACE_WARMUP,
+)
+
+#: the ISSUE's lane-count sweep: degenerate single-lane packs, the common
+#: case, and packs wider than most config sweeps (stragglers + early retire).
+WIDTHS = (1, 4, 16)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+    shutdown_pool()
+
+
+# ----------------------------------------------------------------------
+# resolve_lanes / REPRO_LANES
+# ----------------------------------------------------------------------
+class TestResolveLanes:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "6")
+        assert resolve_lanes(3) == 3
+        assert resolve_lanes(0) == 0
+
+    def test_negative_clamps_to_scalar(self):
+        assert resolve_lanes(-4) == 0
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "12")
+        assert resolve_lanes() == 12
+
+    @pytest.mark.parametrize("spelling", ["on", "true", "YES"])
+    def test_env_on_means_default_width(self, monkeypatch, spelling):
+        monkeypatch.setenv("REPRO_LANES", spelling)
+        assert resolve_lanes() == DEFAULT_LANES
+
+    @pytest.mark.parametrize("spelling", ["", "0", "off", "False", "no"])
+    def test_env_off_spellings(self, monkeypatch, spelling):
+        monkeypatch.setenv("REPRO_LANES", spelling)
+        assert resolve_lanes() == 0
+
+    def test_env_unset_is_scalar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LANES", raising=False)
+        assert resolve_lanes() == 0
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "many")
+        with pytest.raises(ValueError, match="REPRO_LANES"):
+            resolve_lanes()
+
+
+# ----------------------------------------------------------------------
+# FuncTrace / LaneFunc replay fidelity
+# ----------------------------------------------------------------------
+def _fuzz_workload(seed: int = 0):
+    return build_workload(random_spec(seed))
+
+
+class TestFuncTrace:
+    def test_columns_match_live_executor(self):
+        workload = _fuzz_workload(3)
+        trace = FuncTrace(workload)
+        trace.extend_to(500)
+        live = FunctionalExecutor(workload)
+        for i in range(500):
+            pc = live.next_pc
+            taken, nxt, addr = live.step_fast(pc)
+            assert trace.pcs[i] == pc
+            assert trace.next_pcs[i] == nxt
+            assert trace.mem_addrs[i] == addr
+            want = -1 if taken is None else (1 if taken else 0)
+            assert trace.taken[i] == want
+
+    def test_extend_is_incremental(self):
+        trace = FuncTrace(_fuzz_workload(1))
+        trace.extend_to(10)
+        assert trace.length == 10
+        trace.extend_to(5)          # no shrink, no rework
+        assert trace.length == 10
+        trace.extend_to(40)
+        assert trace.length == 40
+        assert len(trace.pcs) == len(trace.taken) == len(trace.next_pcs) == 40
+        assert len(trace.mem_addrs) == 40
+
+
+class TestLaneFunc:
+    def test_step_fast_matches_live_executor_exactly(self):
+        workload = _fuzz_workload(5)
+        lane = LaneFunc(FuncTrace(workload))
+        live = FunctionalExecutor(workload)
+        for _ in range(800):
+            pc = live.next_pc
+            assert lane.next_pc == pc
+            got = lane.step_fast(pc)
+            want = live.step_fast(pc)
+            # exact tuple equality including the None/False/True tri-state
+            assert got == want
+            assert [type(g) for g in got] == [type(w) for w in want]
+        assert lane.instr_count == live.instr_count == 800
+
+    def test_snapshot_restore_replays_identically(self):
+        lane = LaneFunc(FuncTrace(_fuzz_workload(2)))
+        for _ in range(100):
+            lane.step_fast(lane.next_pc)
+        snap = lane.snapshot()
+        first = [lane.step_fast(lane.next_pc) for _ in range(50)]
+        lane.restore(snap)
+        assert lane.instr_count == 100
+        replay = [lane.step_fast(lane.next_pc) for _ in range(50)]
+        assert first == replay
+
+    def test_out_of_sync_pc_raises(self):
+        lane = LaneFunc(FuncTrace(_fuzz_workload(0)))
+        good_pc = lane.next_pc
+        with pytest.raises(RuntimeError, match="out of sync"):
+            lane.step_fast(good_pc + 1)
+        # the failed call must not have advanced the cursor
+        assert lane.next_pc == good_pc
+
+    def test_lanes_share_one_trace(self):
+        trace = FuncTrace(_fuzz_workload(4))
+        a, b = LaneFunc(trace), LaneFunc(trace)
+        for _ in range(300):
+            a.step_fast(a.next_pc)
+        # b replays the columns a forced the leader to materialize
+        live = FunctionalExecutor(trace.workload)
+        for _ in range(300):
+            pc = live.next_pc
+            assert b.step_fast(pc) == live.step_fast(pc)
+        assert trace.leader.instr_count == trace.length
+        assert trace.length >= 300
+
+
+# ----------------------------------------------------------------------
+# engine-level bit-identity: Core over LaneFunc vs. committed goldens
+# ----------------------------------------------------------------------
+def lane_simulate(seed: int, config: str) -> dict:
+    """`test_engine_golden_stats.simulate`, but over an injected LaneFunc."""
+    from repro.harness.runner import SCHEME_FACTORIES, split_config
+
+    workload = _fuzz_workload(seed)
+    scheme_name, predictor = split_config(config)
+    scheme = SCHEME_FACTORIES[scheme_name]()
+    if scheme_name == "oracle-bp":
+        predictor = "oracle"
+    core = Core(workload, SKYLAKE_LIKE, scheme=scheme, predictor=predictor,
+                func=LaneFunc(FuncTrace(workload)))
+    stats = core.run(FUZZ_INSTRUCTIONS)
+    return json.loads(json.dumps(stats.to_dict()))
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_lanefunc_core_matches_fuzz_goldens(seed):
+    with open(FUZZ_GOLDEN_PATH) as handle:
+        golden = json.load(handle)
+    for config in FUZZ_CONFIGS:
+        got = lane_simulate(seed, config)
+        assert got == golden[str(seed)][config], (
+            f"LaneFunc replay drifted from the scalar golden for "
+            f"seed={seed} config={config!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# pack planning
+# ----------------------------------------------------------------------
+class TestPackPlanning:
+    def test_pack_key_groups_by_workload_name(self):
+        a = RunRequest(workload="lammps", config="baseline")
+        b = RunRequest(workload="lammps", config="acb")
+        c = RunRequest(workload="gcc", config="baseline")
+        assert pack_key(a) == pack_key(b)
+        assert pack_key(a) != pack_key(c)
+
+    def test_pack_key_adhoc_objects_by_identity(self):
+        w1, w2 = _fuzz_workload(0), _fuzz_workload(0)
+        assert pack_key(RunRequest(workload=w1)) == pack_key(RunRequest(workload=w1))
+        # equal-looking objects may carry distinct behaviour registries
+        assert pack_key(RunRequest(workload=w1)) != pack_key(RunRequest(workload=w2))
+
+    def test_plan_packs_splits_at_width(self):
+        requests = [RunRequest(workload="lammps", config=f"c{i}") for i in range(5)]
+        requests += [RunRequest(workload="gcc", config="baseline")]
+        packs = plan_packs(range(6), requests, width=2)
+        assert sorted(len(p) for p in packs) == [1, 1, 2, 2]
+        for pack in packs:
+            keys = {pack_key(requests[i]) for i in pack}
+            assert len(keys) == 1
+        assert sorted(i for p in packs for i in p) == list(range(6))
+
+    def test_plan_packs_width_floor_is_one(self):
+        requests = [RunRequest(workload="lammps"), RunRequest(workload="lammps")]
+        packs = plan_packs(range(2), requests, width=0)
+        assert sorted(len(p) for p in packs) == [1, 1]
+
+
+# ----------------------------------------------------------------------
+# pack execution parity: run_matrix lanes=W vs. scalar, W in {1, 4, 16}
+# ----------------------------------------------------------------------
+FAST = dict(warmup=800, measure=1200)
+PACK_CONFIGS = ("baseline", "acb", "acb-dmp-reconv", "acb@bullseye",
+                "oracle-bp", "dmp")
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_fuzz_matrix_parity_across_widths(width):
+    """Lane packs over ad-hoc fuzz workloads match the scalar dispatch."""
+    def matrix():
+        # fresh objects per dispatch: ad-hoc workloads are stateful
+        w0, w1 = _fuzz_workload(0), _fuzz_workload(8)
+        return [
+            RunRequest(workload=w, config=config, **FAST)
+            for w in (w0, w1)
+            for config in PACK_CONFIGS
+        ]
+
+    scalar = run_matrix(matrix(), jobs=1, lanes=0)
+    laned = run_matrix(matrix(), jobs=1, lanes=width)
+    manifest = last_manifest()
+    assert manifest.lanes == width
+    assert all(c.source == "run" for c in manifest.cells)
+    assert all(0 < c.lanes <= width for c in manifest.cells)
+    for s, l in zip(scalar, laned):
+        assert s.workload == l.workload and s.config == l.config
+        assert s.stats == l.stats, (
+            f"lanes={width} drifted from scalar for "
+            f"{s.workload} × {s.config}"
+        )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_trace_matrix_matches_goldens(width):
+    """Mini-trace cells run through lane packs match the committed goldens."""
+    with open(TRACE_GOLDEN_PATH) as handle:
+        golden = json.load(handle)
+    requests = [
+        RunRequest(workload=f"trace:{name}", config=config,
+                   warmup=TRACE_WARMUP, measure=TRACE_MEASURE)
+        for name in MINI_TRACES
+        for config in TRACE_CONFIGS
+    ]
+    results = run_matrix(requests, jobs=1, lanes=width)
+    for request, result in zip(requests, results):
+        name = request.workload.split(":", 1)[1]
+        got = json.loads(json.dumps(result.stats.to_dict()))
+        assert got == golden[name][request.config], (
+            f"lanes={width} drifted from the trace golden for "
+            f"{name} × {request.config}"
+        )
+
+
+def test_run_pack_straggler_retires_early():
+    """Lanes with different windows finish independently and stay exact."""
+    workload = "lammps"
+    requests = [
+        RunRequest(workload=workload, config="baseline", warmup=200, measure=400),
+        RunRequest(workload=workload, config="acb", warmup=800, measure=2400),
+    ]
+    outcomes = run_pack(requests, slice_size=256)
+    assert len(outcomes) == 2
+    clear_memo()
+    scalar = run_matrix(requests, jobs=1, lanes=0)
+    for (result, wall), ref in zip(outcomes, scalar):
+        assert wall >= 0
+        assert result.stats == ref.stats
+
+
+def test_single_lane_pack_matches_scalar():
+    """lanes=1 (pure SoA accessors, no sharing) is still bit-identical."""
+    request = RunRequest(workload="gcc", config="acb", **FAST)
+    ((result, _),) = run_pack([request])
+    clear_memo()
+    (scalar,) = run_matrix([request], jobs=1, lanes=0)
+    assert result.stats == scalar.stats
