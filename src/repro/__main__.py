@@ -45,11 +45,24 @@ Commands
 ``runs [--workload W] [--config C] [--url URL | --db FILE]``
     Query the experiment database — every run ever executed, keyed by
     config hash — over HTTP or directly from the SQLite file.
+``worker [--url URL] [--id NAME] [--ttl S] [--max-idle S]``
+    Run one distributed worker: pull leased matrix cells from a service,
+    simulate them through the standard runner path, and post the stats
+    back (lease → heartbeat → ack; see docs/distributed.md).
+``dashboard [--db FILE] [--out FILE] [--bench-dir DIR]``
+    Render the experiment database (and any ``BENCH_<tag>.json`` reports
+    next to it) into one self-contained HTML file — no external assets,
+    works from ``file://`` (see docs/dashboard.md).
 
 Global options
 --------------
 ``--jobs N``       fan simulation matrices out over N worker processes
                    (default: ``REPRO_JOBS`` env var, else all cores).
+``--backend B``    matrix dispatch backend: ``serial``, ``pool``,
+                   ``lanes``, or ``distributed`` (sets ``REPRO_BACKEND``;
+                   default: the env var, else picked from --jobs/--lanes).
+                   ``distributed`` shards cells across worker processes
+                   via the service API (see docs/distributed.md).
 ``--lanes N``      batch matrix cells into lane packs of up to N cells
                    over the same workload (the SoA lane engine,
                    ``repro.core.lanes``); sets ``REPRO_LANES`` for the
@@ -73,9 +86,15 @@ import sys
 
 from repro.harness import experiments, format_table, pct
 from repro.harness.cache import ResultCache, set_active_cache
-from repro.harness.parallel import session_manifests
+from repro.harness.parallel import (
+    BACKENDS,
+    RunRequest,
+    resolve_backend,
+    run_matrix,
+    session_manifests,
+)
 from repro.harness.reporting import summarize_manifests
-from repro.harness.runner import SCHEME_FACTORIES, run_workload, split_config
+from repro.harness.runner import SCHEME_FACTORIES, split_config
 from repro.workloads import categories, suite_names
 from repro.workloads.frontier import is_frontier_name
 from repro.workloads.trace import is_trace_name, resolve_trace_path
@@ -141,7 +160,11 @@ def _config_ref(name: str) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_workload(args.workload, args.config, core_scale=args.scale)
+    # one-cell matrix rather than a bare run_workload() call, so the
+    # --backend / --jobs / --lanes plumbing applies to `run` too
+    result = run_matrix(
+        [RunRequest(args.workload, args.config, core_scale=args.scale)]
+    )[0]
     print(f"{result.workload} [{result.category}] under {result.config}:")
     for key, value in result.stats.summary().items():
         print(f"  {key:14s} {value}")
@@ -149,12 +172,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    results = run_matrix([
+        RunRequest(args.workload, config, core_scale=args.scale)
+        for config in args.configs
+    ])
+    base = results[0].stats.cycles if results else 0
     rows = []
-    base = None
-    for config in args.configs:
-        result = run_workload(args.workload, config, core_scale=args.scale)
-        if base is None:
-            base = result.stats.cycles
+    for config, result in zip(args.configs, results):
         rows.append([
             config,
             f"{result.stats.ipc:.3f}",
@@ -422,12 +446,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, ServiceError
 
+    # `repro --backend distributed submit ...` queues the matrix for
+    # pull-based workers instead of the server's local job queue
+    backend = resolve_backend(None)
     client = ServiceClient(args.url, timeout=args.timeout)
     try:
         job = client.submit(
             workloads=args.workloads, configs=args.configs,
             warmup=args.warmup, measure=args.measure,
             core_scale=args.scale, lanes=args.lanes,
+            backend="distributed" if backend == "distributed" else None,
         )
     except ServiceError as exc:
         print(f"submit: {exc}", file=sys.stderr)
@@ -510,6 +538,56 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.harness.distributed import run_worker
+    from repro.service.client import ServiceError, service_url
+
+    url = service_url(args.url)
+    options = {}
+    if args.ttl is not None:
+        options["ttl"] = args.ttl
+    if args.poll is not None:
+        options["poll"] = args.poll
+    try:
+        completed = run_worker(
+            url=url,
+            worker_id=args.id,
+            max_idle=args.max_idle,
+            once=args.once,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+            **options,
+        )
+    except ServiceError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("worker: interrupted", file=sys.stderr)
+        return 1
+    print(f"worker done: {completed} cell(s) completed from {url}")
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.dashboard import generate
+
+    try:
+        report = generate(
+            db_path=args.db,
+            out_path=args.out,
+            bench_dir=args.bench_dir,
+            limit=args.limit,
+            title=args.title,
+        )
+    except OSError as exc:
+        print(f"dashboard: {exc}", file=sys.stderr)
+        return 2
+    print(f"{report.out_path}: {report.size_bytes} bytes — "
+          f"{report.runs} stored runs, {report.jobs} jobs, "
+          f"{report.bench_reports} bench report(s)")
+    print("self-contained HTML; open it directly in a browser")
+    return 0
+
+
 def _report_manifests() -> None:
     manifests = session_manifests()
     if manifests:
@@ -524,6 +602,12 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for experiment matrices "
              "(default: REPRO_JOBS, else all cores)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=BACKENDS,
+        help="matrix dispatch backend (sets REPRO_BACKEND; 'distributed' "
+             "shards cells across worker processes via the service API, "
+             "see docs/distributed.md)",
     )
     parser.add_argument(
         "--lanes", type=int, default=None, metavar="N",
@@ -718,9 +802,49 @@ def main(argv=None) -> int:
                         help="emit machine-readable JSON instead of a table")
     p_runs.set_defaults(func=_cmd_runs)
 
+    p_wrk = sub.add_parser(
+        "worker", help="pull and execute distributed matrix cells"
+    )
+    p_wrk.add_argument("--url", default=None,
+                       help="service base URL (default: REPRO_SERVICE_URL, "
+                            "else http://127.0.0.1:8321)")
+    p_wrk.add_argument("--id", default=None, metavar="NAME",
+                       help="worker identity reported in leases "
+                            "(default: <hostname>-<pid>)")
+    p_wrk.add_argument("--ttl", type=float, default=None, metavar="S",
+                       help="lease deadline the worker asks for; renewed by "
+                            "heartbeat at ttl/3 (default 15)")
+    p_wrk.add_argument("--poll", type=float, default=None, metavar="S",
+                       help="sleep between empty lease polls (default 0.25)")
+    p_wrk.add_argument("--max-idle", type=float, default=None, metavar="S",
+                       help="exit after the queue stays empty this long "
+                            "(0 = drain and stop; default: poll forever)")
+    p_wrk.add_argument("--once", action="store_true",
+                       help="exit after completing a single cell")
+    p_wrk.set_defaults(func=_cmd_worker)
+
+    p_dash = sub.add_parser(
+        "dashboard", help="render the experiment DB to one HTML file"
+    )
+    p_dash.add_argument("--db", default=None, metavar="FILE",
+                        help="experiment database "
+                             "(default .repro_store/experiments.sqlite)")
+    p_dash.add_argument("--out", default="repro_dashboard.html",
+                        metavar="FILE", help="output HTML path")
+    p_dash.add_argument("--bench-dir", default=".", metavar="DIR",
+                        help="directory scanned for BENCH_<tag>.json "
+                             "trajectory reports (default: cwd)")
+    p_dash.add_argument("--limit", type=int, default=500,
+                        help="most recent stored runs to include (default 500)")
+    p_dash.add_argument("--title", default=None,
+                        help="dashboard page title")
+    p_dash.set_defaults(func=_cmd_dashboard)
+
     args = parser.parse_args(argv)
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.backend is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.lanes is not None:
         os.environ["REPRO_LANES"] = str(max(0, args.lanes))
     if args.no_cache:

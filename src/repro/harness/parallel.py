@@ -40,17 +40,47 @@ from repro.harness.runner import (
 from repro.workloads import Workload
 
 __all__ = [
+    "BACKENDS",
     "CellRecord",
     "MatrixManifest",
     "RunRequest",
     "default_jobs",
     "last_manifest",
     "reset_manifests",
+    "resolve_backend",
     "run_matrix",
     "run_tasks",
     "session_manifests",
     "shutdown_pool",
 ]
+
+#: Matrix dispatch backends (``--backend`` / ``REPRO_BACKEND``):
+#: serial       in-process, one cell at a time (jobs=1, scalar engine)
+#: pool         ProcessPoolExecutor cell fan-out (the default with jobs>1)
+#: lanes        SoA lane packs over the pool (repro.core.lanes)
+#: distributed  lease-based workers over the service HTTP API
+#:              (repro.harness.distributed)
+BACKENDS = ("serial", "pool", "lanes", "distributed")
+
+ENV_BACKEND = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalize the backend choice: argument, else ``REPRO_BACKEND``.
+
+    Returns ``""`` when nothing was requested — ``run_matrix`` then picks
+    serial/pool/lanes from ``jobs`` and ``lanes`` exactly as before the
+    backend flag existed.
+    """
+    value = (backend if backend is not None
+             else os.environ.get(ENV_BACKEND, "")).strip().lower()
+    if not value:
+        return ""
+    if value not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(BACKENDS)}, got {value!r}"
+        )
+    return value
 
 
 def default_jobs() -> int:
@@ -122,6 +152,8 @@ class CellRecord:
     #: lane-pack width the cell was simulated under (0 = scalar engine).
     #: Cache/memo/dedup hits keep 0: nothing was simulated for them.
     lanes: int = 0
+    #: distributed dispatch only: the worker that executed the cell.
+    worker: str = ""
 
 
 @dataclass
@@ -132,6 +164,9 @@ class MatrixManifest:
     wall_time: float = 0.0
     #: requested lane width for this matrix (0 = scalar dispatch).
     lanes: int = 0
+    #: resolved dispatch backend ("serial" | "pool" | "lanes" |
+    #: "distributed") — see :data:`BACKENDS`.
+    backend: str = "serial"
     cells: List[CellRecord] = field(default_factory=list)
     #: files written alongside the runs (trace exports, decision logs).
     artifacts: List[str] = field(default_factory=list)
@@ -268,6 +303,7 @@ def run_matrix(
     requests: List[RunRequest],
     jobs: Optional[int] = None,
     lanes: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[RunResult]:
     """Evaluate a full experiment matrix, results in request order.
 
@@ -283,12 +319,28 @@ def run_matrix(
     engine (:mod:`repro.core.lanes`), which is bit-identical in SimStats.
     Unset, the width comes from ``REPRO_LANES``.  Lane packs compose with
     ``jobs``: packs (instead of cells) fan out over the worker pool.
-    """
-    from repro.core.lanes import resolve_lanes
 
+    ``backend`` (default ``REPRO_BACKEND``) overrides that selection —
+    ``serial``/``pool``/``lanes`` force one of the local modes, and
+    ``distributed`` ships pending cells to lease-based workers over the
+    service HTTP API (:mod:`repro.harness.distributed`).  SimStats are
+    bit-identical under every backend.
+    """
+    from repro.core.lanes import DEFAULT_LANES, resolve_lanes
+
+    backend = resolve_backend(backend)
     jobs = default_jobs() if jobs is None else max(1, jobs)
     lane_width = resolve_lanes(lanes)
-    manifest = MatrixManifest(jobs=jobs, lanes=lane_width)
+    if backend == "serial":
+        jobs, lane_width = 1, 0
+    elif backend in ("pool", "distributed"):
+        lane_width = 0
+    elif backend == "lanes" and lane_width < 1:
+        lane_width = DEFAULT_LANES
+    resolved = backend or (
+        "lanes" if lane_width >= 1 else ("serial" if jobs <= 1 else "pool")
+    )
+    manifest = MatrixManifest(jobs=jobs, lanes=lane_width, backend=resolved)
     started = time.monotonic()
 
     results: List[Optional[RunResult]] = [None] * len(requests)
@@ -314,7 +366,9 @@ def run_matrix(
                 continue
         pending.append(i)
 
-    if lane_width >= 1:
+    if backend == "distributed":
+        _run_distributed(requests, pending, results, records)
+    elif lane_width >= 1:
         _run_lanes(requests, pending, results, records, lane_width, jobs)
     elif jobs <= 1 or len(pending) <= 1:
         _run_serial(requests, pending, results, records)
@@ -394,6 +448,31 @@ def _is_picklable(request: RunRequest) -> bool:
         return True
     except Exception:
         return False
+
+
+def _run_distributed(requests, ids, results, records) -> None:
+    """Distributed dispatch: ship leasable cells out, run the rest here.
+
+    Cells without a memo key (ad-hoc Workload objects, explicit config
+    overrides) cannot travel over HTTP; they fall back to in-process
+    serial execution, which is bit-identical.  Write-through to the local
+    cache/store happens *here*, after the embedded service (which swaps
+    the active store for its own temporary database) has shut down.
+    """
+    from repro.harness.distributed import dispatch_cells
+
+    remote = [i for i in ids if requests[i].memo_key() is not None]
+    local = [i for i in ids if requests[i].memo_key() is None]
+    outcomes = dispatch_cells(requests, remote)
+    for i in remote:
+        outcome = outcomes[i]
+        results[i] = outcome["result"]
+        records[i] = CellRecord(
+            requests[i].workload_name, requests[i].config, "run",
+            outcome["wall_time"], worker=outcome.get("worker") or "",
+        )
+        store_result(requests[i].memo_key(), outcome["result"])
+    _run_serial(requests, local, results, records)
 
 
 def _run_serial(requests, ids, results, records) -> None:

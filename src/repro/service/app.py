@@ -27,9 +27,10 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.harness.cache import set_active_store
 from repro.harness.parallel import RunRequest
-from repro.harness.runner import SCHEME_FACTORIES, split_config
+from repro.harness.runner import SCHEME_FACTORIES, RunResult, split_config
 from repro.service.jobs import JobQueue, new_job_id
 from repro.service.store import (
+    DEFAULT_LEASE_TTL,
     STORE_SCHEMA_VERSION,
     ExperimentStore,
     utcnow,
@@ -67,6 +68,10 @@ ROUTES: Tuple[Route, ...] = (
     Route("GET", "/api/v1/runs/<run_id>", "run_detail"),
     Route("POST", "/api/v1/trace", "trace_run"),
     Route("GET", "/api/v1/artifacts/<artifact_id>", "artifact_content"),
+    Route("GET", "/api/v1/workers", "list_workers"),
+    Route("POST", "/api/v1/workers/lease", "worker_lease"),
+    Route("POST", "/api/v1/workers/heartbeat", "worker_heartbeat"),
+    Route("POST", "/api/v1/workers/ack", "worker_ack"),
 )
 
 
@@ -157,6 +162,38 @@ def parse_lanes(payload: Any) -> Optional[int]:
             [f"lanes must be a non-negative integer, got {value!r}"]
         )
     return value
+
+
+def parse_backend(payload: Any) -> Optional[str]:
+    """Top-level ``backend`` field of a submitted matrix.
+
+    ``None``/absent/``"local"`` executes on this server's job queue;
+    ``"distributed"`` turns the cells into leasable rows that pull-based
+    workers execute over HTTP (docs/distributed.md).
+    """
+    if not isinstance(payload, dict):
+        return None
+    value = payload.get("backend")
+    if value is None or value == "local":
+        return None
+    if value != "distributed":
+        raise BadRequest(
+            [f"backend must be 'local' or 'distributed', got {value!r}"]
+        )
+    return "distributed"
+
+
+def _float_field(
+    payload: Dict, field: str, problems: List[str]
+) -> Optional[float]:
+    value = payload.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) \
+            or value <= 0:
+        problems.append(f"{field} must be a positive number, got {value!r}")
+        return None
+    return float(value)
 
 
 def parse_matrix(payload: Any) -> List[RunRequest]:
@@ -382,11 +419,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         payload = self._read_json()
         requests = parse_matrix(payload)
         job = self.server.service.queue.submit(
-            requests, lanes=parse_lanes(payload)
+            requests, lanes=parse_lanes(payload),
+            backend=parse_backend(payload),
         )
         self._send_json(202, {
             "job_id": job.job_id,
             "status": job.status,
+            "backend": job.backend,
             "total": job.total,
             "cells": [c.summary() for c in job.cells],
         })
@@ -596,6 +635,145 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    # distributed workers (docs/distributed.md)
+    # ------------------------------------------------------------------
+    def list_workers(self) -> None:
+        """Active workers (live leases grouped by worker) + cell counts."""
+        store = self.server.service.store
+        workers: Dict[str, Dict[str, Any]] = {}
+        for row in store.list_leases():
+            if row["state"] != "leased" or not row["worker"]:
+                continue
+            entry = workers.setdefault(
+                row["worker"],
+                {"worker": row["worker"], "cells": 0, "deadline": 0.0},
+            )
+            entry["cells"] += 1
+            entry["deadline"] = max(entry["deadline"], row["deadline"] or 0.0)
+        self._send_json(200, {
+            "workers": sorted(workers.values(), key=lambda w: w["worker"]),
+            "cells": store.lease_counts(),
+        })
+
+    def worker_lease(self) -> None:
+        """Claim the oldest pending cell; expired leases requeue first."""
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise BadRequest(["request body must be a JSON object"])
+        problems: List[str] = []
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            problems.append(
+                f"worker must be a non-empty string, got {worker!r}"
+            )
+        ttl = _float_field(payload, "ttl", problems) or DEFAULT_LEASE_TTL
+        if problems:
+            raise BadRequest(problems)
+        service = self.server.service
+        for row in service.store.requeue_expired():
+            service.queue.note_requeue(
+                row["job_id"], row["cell_index"], row["worker"]
+            )
+        lease = service.store.lease_next(worker, ttl=ttl)
+        if lease is None:
+            self._send_json(200, {"cell": None})
+            return
+        self._send_json(200, {
+            "cell": {"job_id": lease["job_id"], "index": lease["index"],
+                     "run_id": lease["run_id"], **lease["request"]},
+            "lease_id": lease["lease_id"],
+            "deadline": lease["deadline"],
+            "ttl": ttl,
+            "attempts": lease["attempts"],
+        })
+
+    def worker_heartbeat(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise BadRequest(["request body must be a JSON object"])
+        problems: List[str] = []
+        lease_id = payload.get("lease_id")
+        if not isinstance(lease_id, str) or not lease_id:
+            problems.append(
+                f"lease_id must be a non-empty string, got {lease_id!r}"
+            )
+        ttl = _float_field(payload, "ttl", problems) or DEFAULT_LEASE_TTL
+        if problems:
+            raise BadRequest(problems)
+        deadline = self.server.service.store.heartbeat_lease(lease_id, ttl=ttl)
+        if deadline is None:
+            self._send_json(410, {
+                "error": f"lease {lease_id!r} is gone "
+                f"(acked, or expired and reassigned)",
+            })
+        else:
+            self._send_json(200, {"deadline": deadline, "ttl": ttl})
+
+    def worker_ack(self) -> None:
+        """Accept one executed cell's stats; reject stale leases with 410.
+
+        The run key — where the result lands in the store — is recomputed
+        server-side from the leased request, so a worker can only ever
+        fill the cell it was handed.
+        """
+        from repro.core.stats import SimStats
+
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise BadRequest(["request body must be a JSON object"])
+        problems: List[str] = []
+        lease_id = payload.get("lease_id")
+        if not isinstance(lease_id, str) or not lease_id:
+            problems.append(
+                f"lease_id must be a non-empty string, got {lease_id!r}"
+            )
+        wall_time = payload.get("wall_time", 0.0)
+        if isinstance(wall_time, bool) or \
+                not isinstance(wall_time, (int, float)) or wall_time < 0:
+            problems.append(
+                f"wall_time must be a non-negative number, got {wall_time!r}"
+            )
+            wall_time = 0.0
+        stats_dict = payload.get("stats")
+        stats = None
+        if not isinstance(stats_dict, dict):
+            problems.append("stats must be an object (SimStats.to_dict())")
+        else:
+            try:
+                stats = SimStats.from_dict(stats_dict)
+            except (KeyError, TypeError, ValueError) as exc:
+                problems.append(f"stats do not decode as SimStats: {exc}")
+        if problems:
+            raise BadRequest(problems)
+
+        service = self.server.service
+        row = service.store.ack_lease(lease_id, wall_time=float(wall_time))
+        if row is None:
+            self._send_json(410, {
+                "error": f"lease {lease_id!r} is not live "
+                f"(already acked, or expired and reassigned)",
+            })
+            return
+        result = RunResult(
+            workload=row["request"]["workload"],
+            category=str(payload.get("category", "")),
+            paper_tag=str(payload.get("paper_tag", "")),
+            config=row["request"]["config"],
+            stats=stats,
+        )
+        counts = service.queue.complete_cell(
+            row, result, float(wall_time),
+            worker=payload.get("worker") or row["worker"],
+        )
+        self._send_json(200, {
+            "job_id": row["job_id"],
+            "index": row["cell_index"],
+            "run_id": row["run_id"],
+            "remaining": counts["pending"] + counts["leased"],
+            "done": counts["done"],
+        })
 
 
 # ----------------------------------------------------------------------

@@ -92,6 +92,7 @@ class ServiceClient:
         cells: Optional[List[Dict]] = None,
         workloads: Optional[List[str]] = None,
         configs: Optional[List[str]] = None,
+        backend: Optional[str] = None,
         **defaults: Any,
     ) -> Dict:
         """Submit a matrix; returns the 202 body (``job_id``, cells).
@@ -100,8 +101,13 @@ class ServiceClient:
         ``warmup``/``measure``/``core_scale``/``predictor`` — plus the
         matrix-level ``lanes`` width (0 = scalar engine, ``None`` lets the
         server's ``REPRO_LANES`` decide; see docs/performance.md).
+        *backend* ``"distributed"`` queues the cells for pull-based
+        workers instead of the server's local job queue
+        (docs/distributed.md).
         """
         body: Dict[str, Any] = dict(defaults)
+        if backend is not None:
+            body["backend"] = backend
         if cells is not None:
             body["cells"] = cells
         if workloads is not None:
@@ -178,6 +184,45 @@ class ServiceClient:
             "POST", "/api/v1/trace",
             body={"workload": workload, "config": config, **options},
         )
+
+    # ------------------------------------------------------------------
+    # distributed-worker surface (docs/distributed.md)
+    # ------------------------------------------------------------------
+    def lease(self, worker: str, ttl: Optional[float] = None) -> Dict:
+        """Claim the oldest pending distributed cell, or ``cell: None``."""
+        body: Dict[str, Any] = {"worker": worker}
+        if ttl is not None:
+            body["ttl"] = ttl
+        return self.request("POST", "/api/v1/workers/lease", body=body)
+
+    def heartbeat(self, lease_id: str, ttl: Optional[float] = None) -> Dict:
+        """Renew a live lease; raises ``ServiceError`` (410) when gone."""
+        body: Dict[str, Any] = {"lease_id": lease_id}
+        if ttl is not None:
+            body["ttl"] = ttl
+        return self.request("POST", "/api/v1/workers/heartbeat", body=body)
+
+    def ack(
+        self,
+        lease_id: str,
+        worker: str,
+        stats: Dict,
+        category: str = "",
+        paper_tag: str = "",
+        wall_time: float = 0.0,
+    ) -> Dict:
+        """Post one executed cell's ``SimStats.to_dict()`` back."""
+        return self.request("POST", "/api/v1/workers/ack", body={
+            "lease_id": lease_id,
+            "worker": worker,
+            "stats": stats,
+            "category": category,
+            "paper_tag": paper_tag,
+            "wall_time": wall_time,
+        })
+
+    def workers(self) -> Dict:
+        return self.request("GET", "/api/v1/workers")
 
     def artifacts(self, job_id: str) -> List[Dict]:
         return self.request(

@@ -23,7 +23,13 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.harness.parallel import CellRecord, RunRequest, last_manifest, run_matrix
+from repro.harness.parallel import (
+    CellRecord,
+    RunRequest,
+    last_manifest,
+    resolve_backend,
+    run_matrix,
+)
 from repro.harness.runner import RunResult
 from repro.service.store import ExperimentStore, run_id_for, utcnow
 
@@ -43,6 +49,8 @@ class JobCell:
     #: lane-pack width the cell was simulated under (0 = scalar engine);
     #: recorded so stored results remain reproducible.
     lanes: int = 0
+    #: distributed dispatch only: the worker that acked this cell.
+    worker: Optional[str] = None
     result: Optional[RunResult] = None
 
     def summary(self) -> Dict[str, Any]:
@@ -56,6 +64,8 @@ class JobCell:
             out["source"] = self.source
             out["wall_time"] = round(self.wall_time, 4)
             out["lanes"] = self.lanes
+        if self.worker is not None:
+            out["worker"] = self.worker
         return out
 
 
@@ -68,6 +78,9 @@ class Job:
     request: Dict[str, Any]
     #: requested lane width (None: server environment decides).
     lanes: Optional[int] = None
+    #: "local": executed by this server's queue thread via ``run_matrix``;
+    #: "distributed": cells are leased to pull-based workers over HTTP.
+    backend: str = "local"
     status: str = "queued"
     error: Optional[str] = None
     submitted: str = field(default_factory=utcnow)
@@ -114,6 +127,7 @@ class Job:
         return {
             "job_id": self.job_id,
             "kind": "matrix",
+            "backend": self.backend,
             "status": self.status,
             "submitted": self.submitted,
             "started": self.started,
@@ -130,6 +144,7 @@ class Job:
     def manifest_dict(self) -> Dict[str, Any]:
         return {
             "job_id": self.job_id,
+            "backend": self.backend,
             "wall_time": round(self.wall_time, 4),
             "lanes": self.lanes,
             "cells": [c.summary() for c in self.cells],
@@ -138,6 +153,29 @@ class Job:
 
 def new_job_id() -> str:
     return uuid.uuid4().hex[:12]
+
+
+def request_fields(request: RunRequest) -> Dict[str, Any]:
+    """The wire form of a cell: exactly the fields a worker re-runs from."""
+    return {
+        "workload": request.workload_name,
+        "config": request.config,
+        "core_scale": request.core_scale,
+        "predictor": request.predictor,
+        "warmup": request.warmup,
+        "measure": request.measure,
+    }
+
+
+def request_from_fields(fields: Dict[str, Any]) -> RunRequest:
+    return RunRequest(
+        workload=fields["workload"],
+        config=fields.get("config", "baseline"),
+        core_scale=fields.get("core_scale") or 1,
+        predictor=fields.get("predictor"),
+        warmup=fields.get("warmup"),
+        measure=fields.get("measure"),
+    )
 
 
 class JobQueue:
@@ -155,6 +193,8 @@ class JobQueue:
         self._jobs: Dict[str, Job] = {}
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._lock = threading.Lock()
+        #: distributed jobs: job_id -> monotonic submit time (wall clock)
+        self._started_at: Dict[str, float] = {}
         self._worker = threading.Thread(
             target=self._work, name="repro-job-queue", daemon=True
         )
@@ -162,13 +202,19 @@ class JobQueue:
 
     # ------------------------------------------------------------------
     def submit(self, requests: List[RunRequest],
-               lanes: Optional[int] = None) -> Job:
+               lanes: Optional[int] = None,
+               backend: Optional[str] = None) -> Job:
         """Enqueue a matrix; returns the (still queued) job immediately.
 
         *lanes* selects the dispatch mode each chunk's ``run_matrix`` uses
         (see :mod:`repro.core.lanes`); ``None`` defers to the server's
         ``REPRO_LANES`` environment.  Results are bit-identical either
         way; the manifest records the width actually used per cell.
+
+        *backend* ``"distributed"`` skips the local queue thread entirely:
+        the cells become pending rows in the store's lease table, and the
+        job completes as pull-based workers lease, execute, and ack them
+        (see docs/distributed.md).  Anything else executes locally.
         """
         cells = []
         for i, request in enumerate(requests):
@@ -181,20 +227,139 @@ class JobQueue:
                     f"workloads by name with default core/ACB config"
                 )
             cells.append(JobCell(index=i, request=request, run_id=run_id_for(key)))
+        backend = backend or "local"
         job = Job(
             job_id=new_job_id(),
             cells=cells,
-            request={"cells": [c.summary() for c in cells], "lanes": lanes},
+            request={"cells": [c.summary() for c in cells], "lanes": lanes,
+                     "backend": backend},
             lanes=lanes,
+            backend=backend,
         )
         job.add_event("queued", total=job.total)
         with self._lock:
             self._jobs[job.job_id] = job
+        if backend == "distributed":
+            return self._submit_distributed(job)
         self.store.record_job(
             job.job_id, "queued", job.request, submitted=job.submitted
         )
         self._queue.put(job)
         return job
+
+    def _submit_distributed(self, job: Job) -> Job:
+        """Distributed path: cells become leasable rows, job runs at once."""
+        job.status = "running"
+        job.started = utcnow()
+        self._started_at[job.job_id] = time.monotonic()
+        job.add_event("running", total=job.total, backend="distributed")
+        self.store.record_job(
+            job.job_id, "running", job.request, submitted=job.submitted
+        )
+        self.store.update_job(job.job_id, started=job.started)
+        self.store.enqueue_cells(
+            job.job_id,
+            [
+                {
+                    "index": cell.index,
+                    "run_id": cell.run_id,
+                    "request": request_fields(cell.request),
+                }
+                for cell in job.cells
+            ],
+        )
+        return job
+
+    # ------------------------------------------------------------------
+    # distributed-cell completion (called by the worker ack route)
+    # ------------------------------------------------------------------
+    def note_requeue(self, job_id: str, cell_index: int,
+                     worker: Optional[str]) -> None:
+        """Surface an expired-lease requeue in the job's event feed."""
+        job = self.get(job_id)
+        if job is not None:
+            job.add_event("requeue", index=cell_index, worker=worker)
+
+    def complete_cell(
+        self,
+        lease: Dict[str, Any],
+        result: RunResult,
+        wall_time: float,
+        worker: Optional[str],
+    ) -> Dict[str, int]:
+        """Record one acked distributed cell; finalize the job when drained.
+
+        *lease* is the acked row from
+        :meth:`~repro.service.store.ExperimentStore.ack_lease` — it carries
+        the request fields, so the run key is recomputed *server-side*
+        (workers never get to choose where a result lands).  Returns the
+        job's remaining lease counts.
+        """
+        job_id = lease["job_id"]
+        request = request_from_fields(lease["request"])
+        key = request.memo_key()
+        if key is not None:
+            self.store.put(key, result, job_id=job_id)
+        job = self.get(job_id)
+        if job is not None and 0 <= lease["cell_index"] < len(job.cells):
+            cell = job.cells[lease["cell_index"]]
+            cell.result = result
+            cell.source = "run"
+            cell.wall_time = wall_time
+            cell.worker = worker
+            job.add_event(
+                "cell", done=job.done_cells, total=job.total, **cell.summary()
+            )
+        counts = self.store.lease_counts(job_id)
+        if counts["pending"] == 0 and counts["leased"] == 0:
+            self._finalize_distributed(job_id, job)
+        return counts
+
+    def _finalize_distributed(self, job_id: str, job: Optional[Job]) -> None:
+        if job is not None:
+            with self._lock:
+                if job.terminal:
+                    return  # two acks raced on the last cell; idempotent
+                job.status = "done"
+            started = self._started_at.pop(job_id, None)
+            job.wall_time = (
+                time.monotonic() - started if started is not None else 0.0
+            )
+            job.finished = utcnow()
+            job.add_event(
+                "done",
+                total=job.total,
+                simulated=job.simulated,
+                cache_hits=job.cache_hits,
+                wall_time=round(job.wall_time, 4),
+            )
+            self.store.update_job(
+                job.job_id, status="done", finished=job.finished,
+                manifest=job.manifest_dict(),
+            )
+            return
+        # post-restart: the in-memory job is gone, finish from store rows
+        stored = self.store.get_job(job_id)
+        if stored is None or stored.get("status") == "done":
+            return
+        by_index = {
+            row["cell_index"]: row for row in self.store.list_leases(job_id)
+        }
+        cells = []
+        for cell in stored.get("request", {}).get("cells", []):
+            row = by_index.get(cell.get("index"))
+            cells.append({
+                **cell,
+                "source": "run",
+                "wall_time": round(row["wall_time"], 4) if row else 0.0,
+                "lanes": 0,
+                "worker": row["worker"] if row else None,
+            })
+        self.store.update_job(
+            job_id, status="done", finished=utcnow(),
+            manifest={"job_id": job_id, "backend": "distributed",
+                      "wall_time": 0.0, "lanes": None, "cells": cells},
+        )
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -249,10 +414,15 @@ class JobQueue:
         from repro.core.lanes import resolve_lanes
 
         chunk = max(1, self.jobs or 1) * max(1, resolve_lanes(job.lanes))
+        # a local job must never recurse into distributed dispatch, even
+        # when the server itself runs under REPRO_BACKEND=distributed
+        backend = resolve_backend(None)
+        backend = "pool" if backend == "distributed" else (backend or None)
         for lo in range(0, job.total, chunk):
             cells = job.cells[lo:lo + chunk]
             results = run_matrix(
-                [c.request for c in cells], jobs=self.jobs, lanes=job.lanes
+                [c.request for c in cells], jobs=self.jobs, lanes=job.lanes,
+                backend=backend,
             )
             manifest = last_manifest()
             records = manifest.cells if manifest is not None else []

@@ -34,6 +34,8 @@ import os
 import pathlib
 import sqlite3
 import threading
+import time
+import uuid
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional
@@ -43,7 +45,7 @@ from repro.harness.cache import RunKey, key_digest
 
 #: Bump on any change to the table layout below; register a migration for
 #: upgrades that can be applied in place.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 SCHEMA_NAME = "repro-store"
 
@@ -54,9 +56,43 @@ DEFAULT_STORE_NAME = "experiments.sqlite"
 #: take precedence).
 ENV_STORE = "REPRO_STORE"
 
+#: Lease states a distributed matrix cell moves through.
+LEASE_STATES = ("pending", "leased", "done")
+
+#: Default seconds a worker's lease (and each heartbeat renewal) lasts.
+DEFAULT_LEASE_TTL = 30.0
+
+#: The version-2 addition: lease bookkeeping for distributed matrix cells.
+#: Kept as its own script so the 1 -> 2 migration and the fresh-database
+#: DDL cannot drift apart.
+_DDL_LEASES = """
+CREATE TABLE IF NOT EXISTS leases (
+    job_id     TEXT NOT NULL,
+    cell_index INTEGER NOT NULL,
+    run_id     TEXT NOT NULL,
+    request    TEXT NOT NULL,      -- RunRequest fields as JSON
+    state      TEXT NOT NULL DEFAULT 'pending',  -- pending | leased | done
+    worker     TEXT,
+    lease_id   TEXT,
+    deadline   REAL,               -- time.time() when the lease expires
+    attempts   INTEGER NOT NULL DEFAULT 0,
+    wall_time  REAL NOT NULL DEFAULT 0.0,
+    created    TEXT NOT NULL,
+    updated    TEXT NOT NULL,
+    PRIMARY KEY (job_id, cell_index)
+);
+CREATE INDEX IF NOT EXISTS idx_leases_state ON leases(state);
+"""
+
+
+def _upgrade_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """v1 -> v2: add the distributed-dispatch lease table."""
+    conn.executescript(_DDL_LEASES)
+
+
 #: ``old_version -> upgrade(connection)`` hooks, applied in sequence until
-#: the database reaches STORE_SCHEMA_VERSION.  Empty at version 1.
-_MIGRATIONS: Dict[int, Any] = {}
+#: the database reaches STORE_SCHEMA_VERSION.
+_MIGRATIONS: Dict[int, Any] = {1: _upgrade_v1_to_v2}
 
 _DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -100,7 +136,7 @@ CREATE TABLE IF NOT EXISTS artifacts (
     bytes       INTEGER NOT NULL,
     created     TEXT NOT NULL
 );
-"""
+""" + _DDL_LEASES
 
 
 class StoreSchemaError(RuntimeError):
@@ -457,6 +493,203 @@ class ExperimentStore:
                 "SELECT job_id, kind, status, submitted, started, finished, "
                 "error FROM jobs ORDER BY submitted DESC, job_id LIMIT ?",
                 (max(1, limit),),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # distributed leases (docs/distributed.md)
+    # ------------------------------------------------------------------
+    def enqueue_cells(self, job_id: str, cells: List[Dict[str, Any]]) -> int:
+        """Queue distributed matrix cells for workers to lease.
+
+        *cells*: dicts with ``index``, ``run_id``, and a JSON-serializable
+        ``request`` (the ``RunRequest`` fields a worker needs to re-run the
+        cell).  Idempotent per ``(job_id, index)``.
+        """
+        if not cells or not self._ensure():
+            return 0
+        stamp = utcnow()
+        try:
+            with self._connect() as conn:
+                cursor = conn.executemany(
+                    "INSERT OR IGNORE INTO leases(job_id, cell_index, "
+                    "run_id, request, state, attempts, created, updated) "
+                    "VALUES(?, ?, ?, ?, 'pending', 0, ?, ?)",
+                    [
+                        (job_id, cell["index"], cell["run_id"],
+                         json.dumps(cell["request"]), stamp, stamp)
+                        for cell in cells
+                    ],
+                )
+                return cursor.rowcount
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("lease enqueue", exc)
+            return 0
+
+    def lease_next(
+        self,
+        worker: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        now: Optional[float] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Atomically claim the oldest pending cell for *worker*.
+
+        The claim is a ``state = 'pending'``-guarded UPDATE, so concurrent
+        workers (threads or separate processes on the same database) never
+        double-lease a cell; a lost race simply retries on the next oldest
+        row.  Returns the leased cell or ``None`` when the queue is empty.
+        """
+        if not self._ensure():
+            return None
+        now = time.time() if now is None else now
+        lease_id = uuid.uuid4().hex
+        try:
+            with self._connect() as conn:
+                while True:
+                    row = conn.execute(
+                        "SELECT job_id, cell_index, run_id, request, attempts "
+                        "FROM leases WHERE state = 'pending' "
+                        "ORDER BY created, job_id, cell_index LIMIT 1"
+                    ).fetchone()
+                    if row is None:
+                        return None
+                    claimed = conn.execute(
+                        "UPDATE leases SET state = 'leased', worker = ?, "
+                        "lease_id = ?, deadline = ?, attempts = attempts + 1, "
+                        "updated = ? WHERE job_id = ? AND cell_index = ? "
+                        "AND state = 'pending'",
+                        (worker, lease_id, now + ttl, utcnow(),
+                         row["job_id"], row["cell_index"]),
+                    ).rowcount
+                    if claimed:
+                        return {
+                            "job_id": row["job_id"],
+                            "index": row["cell_index"],
+                            "run_id": row["run_id"],
+                            "request": json.loads(row["request"]),
+                            "lease_id": lease_id,
+                            "deadline": now + ttl,
+                            "attempts": row["attempts"] + 1,
+                        }
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("lease claim", exc)
+            return None
+
+    def requeue_expired(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Return expired leases to the pending queue (dead workers).
+
+        Called lazily on every lease poll — there is no background reaper
+        thread, so an abandoned cell is recovered the moment any surviving
+        worker next asks for work.
+        """
+        if not self._ensure():
+            return []
+        now = time.time() if now is None else now
+        out: List[Dict[str, Any]] = []
+        try:
+            with self._connect() as conn:
+                rows = conn.execute(
+                    "SELECT job_id, cell_index, worker, attempts FROM leases "
+                    "WHERE state = 'leased' AND deadline < ?", (now,),
+                ).fetchall()
+                for row in rows:
+                    freed = conn.execute(
+                        "UPDATE leases SET state = 'pending', worker = NULL, "
+                        "lease_id = NULL, deadline = NULL, updated = ? "
+                        "WHERE job_id = ? AND cell_index = ? "
+                        "AND state = 'leased' AND deadline < ?",
+                        (utcnow(), row["job_id"], row["cell_index"], now),
+                    ).rowcount
+                    if freed:
+                        out.append(dict(row))
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("lease requeue", exc)
+        return out
+
+    def heartbeat_lease(
+        self,
+        lease_id: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Renew a live lease; returns the new deadline, or ``None`` when
+        the lease is gone (acked, or expired and reassigned)."""
+        if not self._ensure():
+            return None
+        now = time.time() if now is None else now
+        try:
+            with self._connect() as conn:
+                renewed = conn.execute(
+                    "UPDATE leases SET deadline = ?, updated = ? "
+                    "WHERE lease_id = ? AND state = 'leased'",
+                    (now + ttl, utcnow(), lease_id),
+                ).rowcount
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("lease heartbeat", exc)
+            return None
+        return now + ttl if renewed else None
+
+    def ack_lease(
+        self, lease_id: str, wall_time: float = 0.0
+    ) -> Optional[Dict[str, Any]]:
+        """Mark a leased cell done; ``None`` when the lease is stale.
+
+        A stale ack (the cell expired and was re-leased to another worker)
+        is rejected so the attempt accounting stays exact — the duplicate
+        result is harmless either way because the simulator is
+        deterministic and run writes are idempotent.
+        """
+        if not self._ensure():
+            return None
+        try:
+            with self._connect() as conn:
+                row = conn.execute(
+                    "SELECT job_id, cell_index, run_id, request, worker, "
+                    "attempts FROM leases "
+                    "WHERE lease_id = ? AND state = 'leased'",
+                    (lease_id,),
+                ).fetchone()
+                if row is None:
+                    return None
+                conn.execute(
+                    "UPDATE leases SET state = 'done', wall_time = ?, "
+                    "updated = ? WHERE lease_id = ? AND state = 'leased'",
+                    (wall_time, utcnow(), lease_id),
+                )
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("lease ack", exc)
+            return None
+        out = dict(row)
+        out["request"] = json.loads(out["request"])
+        return out
+
+    def lease_counts(self, job_id: Optional[str] = None) -> Dict[str, int]:
+        counts = {state: 0 for state in LEASE_STATES}
+        if not self._ensure():
+            return counts
+        clause, params = ("WHERE job_id = ?", (job_id,)) if job_id else ("", ())
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT state, COUNT(*) AS n FROM leases {clause} "
+                f"GROUP BY state",
+                params,
+            ).fetchall()
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def list_leases(
+        self, job_id: Optional[str] = None, limit: int = 1000
+    ) -> List[Dict[str, Any]]:
+        if not self._ensure():
+            return []
+        clause, params = ("WHERE job_id = ?", (job_id,)) if job_id else ("", ())
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT job_id, cell_index, run_id, state, worker, lease_id, "
+                f"deadline, attempts, wall_time, updated FROM leases {clause} "
+                "ORDER BY job_id, cell_index LIMIT ?",
+                (*params, max(1, limit)),
             ).fetchall()
         return [dict(row) for row in rows]
 

@@ -25,7 +25,9 @@ Three passes over ``README.md`` and ``docs/*.md``:
    route table (``repro.service.app.ROUTES``): every documented
    ``METHOD /api/v1/...`` heading must name a live route, every ``curl``
    line in a bash block must target one, and every route must appear in
-   ``docs/service.md`` — the docs and the dispatcher cannot drift apart.
+   ``docs/service.md`` (the ``/api/v1/workers/*`` routes additionally in
+   ``docs/distributed.md``) — the docs and the dispatcher cannot drift
+   apart.
    Python snippets that read ``REPRO_SERVICE_URL`` run against a real
    service booted once on an ephemeral port in a scratch directory.
 
@@ -46,6 +48,7 @@ from typing import Iterator, List, NamedTuple, Optional
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SKIP_MARKER = "<!-- doccheck: skip -->"
 SERVICE_DOC = os.path.join(REPO, "docs", "service.md")
+DIST_DOC = os.path.join(REPO, "docs", "distributed.md")
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
@@ -150,14 +153,21 @@ def check_python(snippet: Snippet, extra_env: Optional[dict] = None) -> Iterator
 
 
 def _cli_subcommands() -> set:
-    """Parse the subcommand names out of ``python -m repro --help``."""
+    """Parse the subcommand names out of ``python -m repro --help``.
+
+    The usage line holds several ``{a,b,...}`` choice groups (global
+    options like ``--backend`` have them too); the subcommand list is
+    by far the largest one.
+    """
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "--help"],
         cwd=REPO, capture_output=True, text=True,
         env=dict(os.environ, PYTHONPATH=os.path.join(REPO, "src")),
     )
-    match = re.search(r"\{([a-z,-]+)\}", proc.stdout)
-    return set(match.group(1).split(",")) if match else set()
+    groups = re.findall(r"\{([a-z,-]+)\}", proc.stdout)
+    if not groups:
+        return set()
+    return set(max(groups, key=lambda g: g.count(",")).split(","))
 
 
 def _join_continuations(text: str) -> List[str]:
@@ -193,7 +203,9 @@ def check_bash(snippet: Snippet, subcommands: set, routes: list) -> Iterator[str
             yield from check_curl(where, line, routes)
             continue
         if cmd == "python" and words[1:3] == ["-m", "repro"]:
-            value_flags = {"--jobs", "--cache-dir", "--store"}  # options w/ args
+            # global options that take a value before the subcommand
+            value_flags = {"--jobs", "--lanes", "--backend",
+                           "--cache-dir", "--store"}
             sub = None
             for prev, word in zip(words[2:], words[3:]):
                 if not word.startswith("-") and prev not in value_flags:
@@ -261,7 +273,8 @@ def check_curl(where: str, line: str, routes: List[tuple]) -> Iterator[str]:
 
 
 def check_route_coverage(routes: List[tuple]) -> Iterator[str]:
-    """Every route must be documented verbatim in docs/service.md."""
+    """Every route must be documented verbatim in docs/service.md, and
+    the distributed-worker routes additionally in docs/distributed.md."""
     if not os.path.exists(SERVICE_DOC):
         yield "docs/service.md missing — the service API reference is required"
         return
@@ -270,6 +283,17 @@ def check_route_coverage(routes: List[tuple]) -> Iterator[str]:
         if f"{method} {pattern}" not in text:
             yield (f"docs/service.md: route `{method} {pattern}` is "
                    f"undocumented (add a literal 'METHOD /path' heading)")
+    worker_routes = [(m, p) for m, p in routes
+                     if p.startswith("/api/v1/workers")]
+    if not os.path.exists(DIST_DOC):
+        yield ("docs/distributed.md missing — the worker protocol "
+               "reference is required")
+        return
+    dist_text = open(DIST_DOC).read()
+    for method, pattern in worker_routes:
+        if f"{method} {pattern}" not in dist_text:
+            yield (f"docs/distributed.md: worker route `{method} {pattern}` "
+                   f"is undocumented (add a literal 'METHOD /path' heading)")
 
 
 def main() -> int:
